@@ -1,0 +1,16 @@
+; A hand-written active-message handler: [magic(4) | a(4) | b(4)]
+; computes a+b into the message buffer and replies with 4 bytes.
+; Assemble with:  dune exec bin/ashbench.exe -- assemble examples/handlers/remote_add.ash
+    ld32  r5, 0(r28)        ; magic word
+    li    r6, 0x41444421    ; "ADD!"
+    bne   r5, r6, @bad
+    ld32  r5, 4(r28)
+    ld32  r6, 8(r28)
+    add   r5, r5, r6
+    st32  r5, 0(r28)
+    mov   r1, r28
+    li    r2, 4
+    call  send
+    commit
+bad:
+    abort
