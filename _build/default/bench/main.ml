@@ -1,0 +1,150 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (paper-vs-measured), then runs one Bechamel
+   micro-benchmark per table measuring the host-side cost of the
+   simulation kernel behind it.
+
+   Usage:
+     main.exe                 run everything
+     main.exe table5 fig3     run selected experiments
+     main.exe --no-bechamel   skip the Bechamel section
+     main.exe --markdown      additionally dump Markdown for EXPERIMENTS.md *)
+
+module Core = Ash_core
+module Report = Core.Report
+module Lab = Core.Lab
+module Tcp = Ash_proto.Tcp
+
+let experiments : (string * (unit -> Report.table)) list =
+  [
+    ("table1", Core.Exp_raw.table1);
+    ("fig3", Core.Exp_raw.fig3);
+    ("table2", Core.Exp_proto.table2);
+    ("table3", Core.Exp_memory.table3);
+    ("table4", Core.Exp_ilp.table4);
+    ("table5", Core.Exp_ash.table5);
+    ("table6", Core.Exp_tcp.table6);
+    ("fig4", Core.Exp_sched.fig4);
+    ("sandbox", Core.Exp_sandbox.section_vd);
+    ("dpf", Core.Exp_ablate.dpf);
+    ("dilp-scaling", Core.Exp_ilp.dilp_scaling);
+    ("striped", Core.Exp_ablate.striped);
+  ]
+
+(* -- Bechamel: host-side cost of each experiment's simulation kernel -- *)
+
+open Bechamel
+open Toolkit
+
+let staged_kernels : (string * (unit -> unit)) list =
+  [
+    ("table1.pingpong", fun () -> ignore (Lab.raw_pingpong ~iters:2 Lab.Srv_user));
+    ( "fig3.train",
+      fun () -> ignore (Lab.raw_train_throughput ~size:1024 ~count:16 ()) );
+    ( "table2.udp_latency",
+      fun () ->
+        ignore (Lab.udp_latency ~checksum:true ~in_place:false ~medium:`An2 ())
+    );
+    ("table3.model_copy", fun () -> ignore (Core.Exp_memory.single_copy ()));
+    ("table4.dilp_fused", fun () -> ignore (Core.Exp_ilp.dilp ~bswap:true ()));
+    ( "table5.remote_increment",
+      fun () ->
+        ignore (Lab.remote_increment ~iters:2 (Lab.Srv_ash { sandbox = true }))
+    );
+    ( "table6.tcp_roundtrip",
+      fun () ->
+        ignore
+          (Lab.tcp_latency
+             ~mode:(Tcp.Fast_ash { sandbox = true })
+             ~checksum:true ~iters:2 ()) );
+    ( "fig4.scheduled_increment",
+      fun () ->
+        ignore
+          (Lab.remote_increment ~iters:2 ~nprocs:4 Lab.Srv_user) );
+    ( "sandbox.remote_write",
+      fun () ->
+        ignore
+          (Core.Exp_sandbox.run_once ~variant:Core.Exp_sandbox.Specific
+             ~sandboxed:true ~payload_len:40) );
+    ( "dpf.demux16",
+      fun () ->
+        ignore (Core.Exp_ablate.demux_cycles ~compiled:true ~nfilters:16) );
+    ( "dilp-scaling.4pipes",
+      fun () -> ignore (Core.Exp_ilp.dilp_n_pipes 4 ()) );
+    ( "striped.one_pass",
+      fun () -> ignore (Core.Exp_ablate.striped_one_pass ~len:1440 ()) );
+  ]
+
+let bechamel_tests =
+  Test.make_grouped ~name:"ashs"
+    (List.map
+       (fun (name, f) -> Test.make ~name (Staged.stage f))
+       staged_kernels)
+
+let run_bechamel () =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:false
+      ~quota:(Time.second 0.2) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] bechamel_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf
+    "@.=== Bechamel: host cost of simulation kernels (wall time per run) \
+     ===@.";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+       match Analyze.OLS.estimates ols_result with
+       | Some [ est ] when est > 0. ->
+         let pretty =
+           if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+           else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+           else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+           else Printf.sprintf "%.0f ns" est
+         in
+         Format.printf "  %-32s %12s@." name pretty
+       | _ -> Format.printf "  %-32s %12s@." name "n/a")
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let markdown = List.mem "--markdown" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
+      args
+  in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.filter_map
+        (fun id ->
+           match List.assoc_opt id experiments with
+           | Some f -> Some (id, f)
+           | None ->
+             Format.eprintf "unknown experiment %S (have: %s)@." id
+               (String.concat ", " (List.map fst experiments));
+             exit 2)
+        selected
+  in
+  Format.printf
+    "ASHs reproduction benchmark harness — %d experiment(s)@."
+    (List.length to_run);
+  let tables =
+    List.map
+      (fun (id, f) ->
+         let t0 = Unix.gettimeofday () in
+         let table = f () in
+         Format.printf "%a" Report.print table;
+         Format.printf "  (generated in %.1f s)@."
+           (Unix.gettimeofday () -. t0);
+         (id, table))
+      to_run
+  in
+  if markdown then begin
+    Format.printf "@.--- markdown ---@.";
+    List.iter (fun (_, t) -> print_string (Report.to_markdown t)) tables
+  end;
+  if not no_bechamel then run_bechamel ()

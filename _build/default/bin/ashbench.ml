@@ -1,0 +1,143 @@
+(* ashbench: command-line front end for the reproduction experiments.
+
+   Examples:
+     ashbench list
+     ashbench run table5
+     ashbench run --markdown table1 table3
+     ashbench inspect echo           (disassemble a handler, plain + SFI) *)
+
+module Core = Ash_core
+module Report = Core.Report
+module Program = Ash_vm.Program
+module Sandbox = Ash_vm.Sandbox
+
+open Cmdliner
+
+let experiments : (string * string * (unit -> Report.table)) list =
+  [
+    ("table1", "raw AN2/Ethernet round-trip latency", Core.Exp_raw.table1);
+    ("fig3", "user-level AN2 throughput vs packet size", Core.Exp_raw.fig3);
+    ("table2", "UDP/TCP latency and throughput", Core.Exp_proto.table2);
+    ("table3", "copy throughput (single/double)", Core.Exp_memory.table3);
+    ("table4", "integrated vs separate manipulations", Core.Exp_ilp.table4);
+    ("table5", "remote-increment round trips", Core.Exp_ash.table5);
+    ("table6", "TCP across delivery mechanisms", Core.Exp_tcp.table6);
+    ("fig4", "latency vs competing processes", Core.Exp_sched.fig4);
+    ("sandbox", "sandboxing overhead (sec. V-D)", Core.Exp_sandbox.section_vd);
+    ("dpf", "compiled vs interpreted packet filters", Core.Exp_ablate.dpf);
+    ("dilp-scaling", "DILP fusion vs separate passes", Core.Exp_ilp.dilp_scaling);
+    ("striped", "striped vs contiguous DILP back ends", Core.Exp_ablate.striped);
+  ]
+
+let handlers : (string * (unit -> Program.t)) list =
+  [
+    ("echo", Core.Handlers.echo);
+    ("remote-increment", fun () -> Core.Handlers.remote_increment ~slot_addr:0x2000);
+    ("remote-write-generic",
+     fun () -> Core.Handlers.remote_write_generic ~table_addr:0x3000 ~entries:4);
+    ("remote-write-specific", Core.Handlers.remote_write_specific);
+    ("tcp-fastpath",
+     fun () ->
+       Ash_proto.Tcp_fastpath.program
+         { Ash_proto.Tcp_fastpath.tcb_addr = 0x4000; checksum = true;
+           dilp_id = 0; cksum_acc_reg = 16 });
+  ]
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "%-14s %s\n" id desc)
+      experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments (all when none named) and print their tables." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ] ~doc:"Also emit Markdown.")
+  in
+  let run markdown ids =
+    let selected =
+      if ids = [] then experiments
+      else
+        List.map
+          (fun id ->
+             match
+               List.find_opt (fun (eid, _, _) -> eid = id) experiments
+             with
+             | Some e -> e
+             | None ->
+               Printf.eprintf "unknown experiment %S\n" id;
+               exit 2)
+          ids
+    in
+    List.iter
+      (fun (_, _, f) ->
+         let table = f () in
+         Format.printf "%a" Report.print table;
+         if markdown then print_string (Report.to_markdown table))
+      selected
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ markdown $ ids)
+
+let inspect_cmd =
+  let doc =
+    "Disassemble a canonical handler, before and after sandboxing."
+  in
+  let handler_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HANDLER")
+  in
+  let run name =
+    match List.assoc_opt name handlers with
+    | None ->
+      Printf.eprintf "unknown handler %S (have: %s)\n" name
+        (String.concat ", " (List.map fst handlers));
+      exit 2
+    | Some mk ->
+      let p = mk () in
+      Format.printf "%a@." Program.pp p;
+      let sp, stats = Sandbox.apply p in
+      Format.printf "@.; after sandboxing (%d original + %d added):@.%a@."
+        stats.Sandbox.original stats.Sandbox.added Program.pp sp
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ handler_arg)
+
+let assemble_cmd =
+  let doc =
+    "Assemble a handler source file (see lib/vm/asm.mli for the syntax), \
+     verify it, and show the code before and after sandboxing."
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Ash_vm.Asm.parse ~name:(Filename.basename path) src with
+    | Error e ->
+      Format.eprintf "%s: %a@." path Ash_vm.Asm.pp_error e;
+      exit 1
+    | Ok p -> (
+        match Ash_vm.Verify.check p with
+        | Error e ->
+          Format.eprintf "%s: verifier rejected: %a@." path
+            Ash_vm.Verify.pp_error e;
+          exit 1
+        | Ok p ->
+          Format.printf "%a@." Program.pp p;
+          let sp, stats = Sandbox.apply p in
+          Format.printf "@.; after sandboxing (%d original + %d added):@.%a@."
+            stats.Sandbox.original stats.Sandbox.added Program.pp sp)
+  in
+  Cmd.v (Cmd.info "assemble" ~doc) Term.(const run $ path_arg)
+
+let () =
+  let doc = "ASHs reproduction experiment driver" in
+  let info = Cmd.info "ashbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; inspect_cmd; assemble_cmd ]))

@@ -1,0 +1,1 @@
+examples/active_messages.ml: Ash_core Ash_kern Ash_sim Ash_util Ash_vm Bytes Format List

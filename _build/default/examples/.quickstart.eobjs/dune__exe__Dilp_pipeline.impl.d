@@ -1,0 +1,1 @@
+examples/dilp_pipeline.ml: Array Ash_pipes Ash_sim Ash_util Ash_vm Bytes Format

@@ -1,0 +1,1 @@
+examples/dilp_pipeline.mli:

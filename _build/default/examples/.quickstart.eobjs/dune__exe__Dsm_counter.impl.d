@@ -1,0 +1,1 @@
+examples/dsm_counter.ml: Ash_core Ash_kern Ash_sim Ash_util Bytes Format

@@ -1,0 +1,1 @@
+examples/dsm_remote_write.ml: Ash_core Ash_kern Ash_sim Ash_util Ash_vm Bytes Char Format

@@ -1,0 +1,1 @@
+examples/http_server.ml: Ash_core Ash_kern Ash_proto Ash_sim Format List String

@@ -1,0 +1,1 @@
+examples/protocol_compose.ml: Ash_core Ash_kern Ash_proto Ash_sim Ash_vm Bytes Format String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ash_core Ash_kern Ash_sim Ash_vm Bytes Format

@@ -1,0 +1,1 @@
+lib/core/dsm.ml: Array Ash_kern Ash_sim Ash_util Ash_vm Bytes Format Printf Queue Testbed

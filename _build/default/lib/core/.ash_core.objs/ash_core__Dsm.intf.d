@@ -1,0 +1,1 @@
+lib/core/dsm.mli: Bytes Testbed

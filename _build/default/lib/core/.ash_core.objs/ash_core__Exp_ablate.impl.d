@@ -1,0 +1,1 @@
+lib/core/exp_ablate.ml: Ash_kern Ash_pipes Ash_sim Ash_util Bytes List Printf Report

@@ -1,0 +1,1 @@
+lib/core/exp_ablate.mli: Ash_sim Report

@@ -1,0 +1,1 @@
+lib/core/exp_ash.ml: Ash_util Ash_vm Lab Printf Report

@@ -1,0 +1,1 @@
+lib/core/exp_ilp.ml: Ash_pipes Ash_sim Ash_util Bytes List Printf Report

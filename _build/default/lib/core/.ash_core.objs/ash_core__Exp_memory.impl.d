@@ -1,0 +1,1 @@
+lib/core/exp_memory.ml: Ash_sim Report

@@ -1,0 +1,1 @@
+lib/core/exp_proto.ml: Ash_proto Lab Printf Report

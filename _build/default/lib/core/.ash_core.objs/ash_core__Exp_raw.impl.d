@@ -1,0 +1,1 @@
+lib/core/exp_raw.ml: Ash_util Lab List Printf Report

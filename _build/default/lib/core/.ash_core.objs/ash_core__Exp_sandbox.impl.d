@@ -1,0 +1,1 @@
+lib/core/exp_sandbox.ml: Ash_sim Ash_util Ash_vm Bytes Format Handlers Report

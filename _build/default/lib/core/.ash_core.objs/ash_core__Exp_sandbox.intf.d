@@ -1,0 +1,1 @@
+lib/core/exp_sandbox.mli: Ash_vm Report

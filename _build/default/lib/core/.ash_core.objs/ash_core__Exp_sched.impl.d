@@ -1,0 +1,1 @@
+lib/core/exp_sched.ml: Ash_kern Ash_sim Ash_util Lab List Printf Report

@@ -1,0 +1,1 @@
+lib/core/exp_tcp.ml: Ash_proto Lab List Printf Report

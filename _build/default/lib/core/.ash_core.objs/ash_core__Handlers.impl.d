@@ -1,0 +1,1 @@
+lib/core/handlers.ml: Ash_vm

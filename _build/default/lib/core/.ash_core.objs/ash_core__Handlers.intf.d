@@ -1,0 +1,1 @@
+lib/core/handlers.mli: Ash_vm

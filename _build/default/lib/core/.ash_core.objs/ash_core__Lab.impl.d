@@ -1,0 +1,1 @@
+lib/core/lab.ml: Ash_kern Ash_proto Ash_sim Ash_util Ash_vm Bytes Format Handlers List Option String Testbed

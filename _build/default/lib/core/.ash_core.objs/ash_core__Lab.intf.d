@@ -1,0 +1,1 @@
+lib/core/lab.mli: Ash_kern Ash_proto Ash_sim Ash_util Ash_vm Testbed

@@ -1,0 +1,1 @@
+lib/core/testbed.ml: Ash_kern Ash_nic Ash_sim Ash_util Bytes Printf

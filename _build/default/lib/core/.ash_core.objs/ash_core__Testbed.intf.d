@@ -1,0 +1,1 @@
+lib/core/testbed.mli: Ash_kern Ash_nic Ash_sim

@@ -1,0 +1,55 @@
+(* Table V: raw round-trip times for the remote increment (§V-B), plus
+   the dynamic-instruction accounting the text quotes alongside it. *)
+
+module Interp = Ash_vm.Interp
+module Stats = Ash_util.Stats
+
+let rtt mode ~suspended =
+  let summary, last =
+    Lab.remote_increment ~server_suspended:suspended mode
+  in
+  (summary.Stats.mean, last)
+
+let table5 () =
+  let unsafe_p, _ = rtt (Lab.Srv_ash { sandbox = false }) ~suspended:false in
+  let unsafe_s, _ = rtt (Lab.Srv_ash { sandbox = false }) ~suspended:true in
+  let sand_p, last_sand = rtt (Lab.Srv_ash { sandbox = true }) ~suspended:false in
+  let sand_s, _ = rtt (Lab.Srv_ash { sandbox = true }) ~suspended:true in
+  let upcall_p, _ = rtt Lab.Srv_upcall ~suspended:false in
+  let upcall_s, _ = rtt Lab.Srv_upcall ~suspended:true in
+  let user_p, _ = rtt Lab.Srv_user ~suspended:false in
+  let user_s, _ = rtt Lab.Srv_user ~suspended:true in
+  let counts_note =
+    match last_sand with
+    | Some r ->
+      Printf.sprintf
+        "sandboxed handler executed %d instructions, %d inserted by the \
+         sandboxer (the paper reports 76 added to a base of 90 for its \
+         larger handler)"
+        r.Interp.insns r.Interp.check_insns
+    | None -> "no handler instrumentation available"
+  in
+  {
+    Report.id = "table5";
+    title = "Remote-increment round trip (us)";
+    rows =
+      [
+        Report.row ~label:"unsafe ASH    | polling" ~paper:147.
+          ~measured:unsafe_p ~unit_:"us" ();
+        Report.row ~label:"sandboxed ASH | polling" ~paper:152.
+          ~measured:sand_p ~unit_:"us" ();
+        Report.row ~label:"upcall        | polling" ~paper:191.
+          ~measured:upcall_p ~unit_:"us" ();
+        Report.row ~label:"user-level    | polling" ~paper:182.
+          ~measured:user_p ~unit_:"us" ();
+        Report.row ~label:"unsafe ASH    | suspended" ~paper:147.
+          ~measured:unsafe_s ~unit_:"us" ();
+        Report.row ~label:"sandboxed ASH | suspended" ~paper:151.
+          ~measured:sand_s ~unit_:"us" ();
+        Report.row ~label:"upcall        | suspended" ~paper:193.
+          ~measured:upcall_s ~unit_:"us" ();
+        Report.row ~label:"user-level    | suspended" ~paper:247.
+          ~measured:user_s ~unit_:"us" ();
+      ];
+    notes = [ counts_note ];
+  }

@@ -1,0 +1,3 @@
+(** Table V: remote-increment round trips across delivery mechanisms. *)
+
+val table5 : unit -> Report.table

@@ -1,0 +1,104 @@
+(* Table II: latency and throughput for UDP and TCP over AN2 and
+   Ethernet, across the in-place/copy x checksum configurations
+   (§IV-D). *)
+
+module Tcp = Ash_proto.Tcp
+
+let udp_rows () =
+  let lat ~checksum ~in_place ~medium paper =
+    let v = Lab.udp_latency ~checksum ~in_place ~medium () in
+    (paper, v)
+  in
+  let tput ~checksum ~in_place ~medium paper =
+    let v = Lab.udp_train_throughput ~checksum ~in_place ~medium () in
+    (paper, v)
+  in
+  let r label (paper, measured) unit_ =
+    Report.row ~label ~paper ~measured ~unit_ ()
+  in
+  [
+    r "UDP lat  | AN2 in-place, no cksum"
+      (lat ~checksum:false ~in_place:true ~medium:`An2 221.)
+      "us";
+    r "UDP lat  | AN2 in-place, cksum"
+      (lat ~checksum:true ~in_place:true ~medium:`An2 244.)
+      "us";
+    r "UDP lat  | AN2 copy, no cksum"
+      (lat ~checksum:false ~in_place:false ~medium:`An2 225.)
+      "us";
+    r "UDP lat  | AN2 copy, cksum"
+      (lat ~checksum:true ~in_place:false ~medium:`An2 244.)
+      "us";
+    r "UDP lat  | Ethernet, cksum"
+      (lat ~checksum:true ~in_place:false ~medium:`Eth 390.)
+      "us";
+    r "UDP tput | AN2 in-place, no cksum"
+      (tput ~checksum:false ~in_place:true ~medium:`An2 11.69)
+      "MB/s";
+    r "UDP tput | AN2 in-place, cksum"
+      (tput ~checksum:true ~in_place:true ~medium:`An2 7.86)
+      "MB/s";
+    r "UDP tput | AN2 copy, no cksum"
+      (tput ~checksum:false ~in_place:false ~medium:`An2 8.57)
+      "MB/s";
+    r "UDP tput | AN2 copy, cksum"
+      (tput ~checksum:true ~in_place:false ~medium:`An2 6.45)
+      "MB/s";
+    r "UDP tput | Ethernet, cksum"
+      (tput ~checksum:true ~in_place:false ~medium:`Eth 1.02)
+      "MB/s";
+  ]
+
+let tcp_rows () =
+  let lat ~checksum paper =
+    Report.row
+      ~label:
+        (Printf.sprintf "TCP lat  | AN2 %s" (if checksum then "cksum" else "no cksum"))
+      ~paper
+      ~measured:(Lab.tcp_latency ~mode:Tcp.Library ~checksum ())
+      ~unit_:"us" ()
+  in
+  let eth_lat =
+    Report.row ~label:"TCP lat  | Ethernet, cksum" ~paper:443.
+      ~measured:(Lab.tcp_latency ~mode:Tcp.Library ~checksum:true ~medium:`Eth ())
+      ~unit_:"us" ()
+  in
+  let eth_tput =
+    let v, _ =
+      Lab.tcp_throughput ~mode:Tcp.Library ~checksum:true ~in_place:false
+        ~medium:`Eth ~total:(256 * 1024) ()
+    in
+    Report.row ~label:"TCP tput | Ethernet, cksum" ~paper:1.03 ~measured:v
+      ~unit_:"MB/s" ()
+  in
+  let tput label ~checksum ~in_place paper =
+    let v, _ =
+      Lab.tcp_throughput ~mode:Tcp.Library ~checksum ~in_place ()
+    in
+    Report.row ~label ~paper ~measured:v ~unit_:"MB/s" ()
+  in
+  [
+    lat ~checksum:false 333.;
+    lat ~checksum:true 384.;
+    tput "TCP tput | AN2 in-place, no cksum" ~checksum:false ~in_place:true
+      5.76;
+    tput "TCP tput | AN2 in-place, cksum" ~checksum:true ~in_place:true 4.42;
+    tput "TCP tput | AN2 copy, no cksum" ~checksum:false ~in_place:false 5.02;
+    tput "TCP tput | AN2 copy, cksum" ~checksum:true ~in_place:false 4.11;
+    eth_lat;
+    eth_tput;
+  ]
+
+let table2 () =
+  {
+    Report.id = "table2";
+    title = "UDP and TCP latency (us) / throughput (MB/s), user-level stacks";
+    rows = udp_rows () @ tcp_rows ();
+    notes =
+      [
+        "Ethernet rows are demultiplexed by compiled DPF filters; their \
+         throughput is wire-limited at 10 Mb/s";
+        "in-place TCP rows skip the read-interface copy only; the \
+         retransmission staging copy remains, as in any buffering TCP";
+      ];
+  }

@@ -1,0 +1,3 @@
+(** Table II: UDP and TCP latency/throughput configurations (§IV-D). *)
+
+val table2 : unit -> Report.table

@@ -1,0 +1,122 @@
+(* §V-D: sandboxing overhead on the remote write, generic vs
+   application-specific, 40-byte vs 4096-byte payloads, plus the static
+   and dynamic instruction counts the section quotes. *)
+
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+module Interp = Ash_vm.Interp
+module Isa = Ash_vm.Isa
+module Verify = Ash_vm.Verify
+module Sandbox = Ash_vm.Sandbox
+module Bytesx = Ash_util.Bytesx
+
+type variant = Generic | Specific
+
+(* Run one remote-write handler in isolation ("we take this measurement
+   in isolation, without the cost of communication, but with both ASHs
+   running in the kernel"). Returns (cycles, interp result). *)
+let run_once ~variant ~sandboxed ~payload_len =
+  let m = Machine.create Costs.decstation in
+  let mem = Machine.mem m in
+  let seg = Memory.alloc mem ~name:"dsm-segment" 8192 in
+  let table = Memory.alloc mem ~name:"dsm-table" 64 in
+  (* One translation-table entry: segment 0 -> (base, limit). *)
+  Memory.store32 mem table.Memory.base seg.Memory.base;
+  Memory.store32 mem (table.Memory.base + 4) seg.Memory.len;
+  let hdr_len = match variant with Generic -> 12 | Specific -> 8 in
+  let msg = Memory.alloc mem ~name:"msg" (hdr_len + payload_len) in
+  let header = Bytes.create hdr_len in
+  (match variant with
+   | Generic ->
+     Bytesx.set_u32 header 0 0; (* segment number *)
+     Bytesx.set_u32 header 4 64; (* offset *)
+     Bytesx.set_u32 header 8 payload_len
+   | Specific ->
+     Bytesx.set_u32 header 0 (seg.Memory.base + 64);
+     Bytesx.set_u32 header 4 payload_len);
+  Memory.blit_from_bytes mem ~src:header ~src_off:0 ~dst:msg.Memory.base
+    ~len:hdr_len;
+  let program =
+    match variant with
+    | Generic ->
+      Handlers.remote_write_generic ~table_addr:table.Memory.base ~entries:1
+    | Specific -> Handlers.remote_write_specific ()
+  in
+  let program =
+    match Verify.check program with
+    | Ok p -> if sandboxed then fst (Sandbox.apply p) else p
+    | Error e ->
+      failwith (Format.asprintf "rejected: %a" Verify.pp_error e)
+  in
+  let env =
+    {
+      Interp.machine = m;
+      msg_addr = msg.Memory.base;
+      msg_len = msg.Memory.len;
+      allowed_calls = Isa.[ K_copy; K_msg_read32; K_msg_len ];
+      dilp = (fun ~id:_ ~src:_ ~dst:_ ~len:_ ~regs:_ -> false);
+      send = ignore;
+      gas_cycles = Interp.default_gas;
+    }
+  in
+  let r = Interp.run env program in
+  (match r.Interp.outcome with
+   | Interp.Committed -> ()
+   | o ->
+     failwith
+       (Format.asprintf "remote write did not commit (%s)"
+          (match o with
+           | Interp.Killed v -> Format.asprintf "%a" Isa.pp_violation v
+           | Interp.Aborted -> "aborted"
+           | Interp.Returned -> "returned"
+           | Interp.Committed -> assert false)));
+  r
+
+let overhead_ratio ~variant ~payload_len =
+  let sand = (run_once ~variant ~sandboxed:true ~payload_len).Interp.cycles in
+  let plain =
+    (run_once ~variant ~sandboxed:false ~payload_len).Interp.cycles
+  in
+  float_of_int sand /. float_of_int plain
+
+(* Dynamic instruction count excluding the data copy, as the paper
+   counts them ("the dynamic instruction count (excluding data copying)
+   ... uses 38 instructions, 28 of which are added by the sandboxer"). *)
+let insn_count ~variant ~sandboxed =
+  let r = run_once ~variant ~sandboxed ~payload_len:40 in
+  r.Interp.insns
+
+let section_vd () =
+  let r40 = overhead_ratio ~variant:Specific ~payload_len:40 in
+  let r4096 = overhead_ratio ~variant:Specific ~payload_len:4096 in
+  let spec_plain = insn_count ~variant:Specific ~sandboxed:false in
+  let spec_sand = insn_count ~variant:Specific ~sandboxed:true in
+  let gen_plain = insn_count ~variant:Generic ~sandboxed:false in
+  let gen_sand = insn_count ~variant:Generic ~sandboxed:true in
+  {
+    Report.id = "sec5D";
+    title = "Sandboxing overhead: application-specific remote write";
+    rows =
+      [
+        Report.row ~label:"40-byte write, sandboxed/unsafe time" ~paper:1.35
+          ~measured:r40 ~unit_:"ratio" ();
+        Report.row ~label:"4096-byte write, sandboxed/unsafe time"
+          ~paper:1.015 ~measured:r4096 ~unit_:"ratio" ();
+        Report.row ~label:"specific handler, unsafe (dyn insns)" ~paper:10.
+          ~measured:(float_of_int spec_plain) ~unit_:"insns" ();
+        Report.row ~label:"specific handler, sandboxed (dyn insns)" ~paper:38.
+          ~measured:(float_of_int spec_sand) ~unit_:"insns" ();
+        Report.row ~label:"generic handler, unsafe (dyn insns)" ~paper:68.
+          ~measured:(float_of_int gen_plain) ~unit_:"insns" ();
+        Report.row ~label:"generic handler, sandboxed (dyn insns)"
+          ~measured:(float_of_int gen_sand) ~unit_:"insns" ();
+      ];
+    notes =
+      [
+        "the paper's headline: even sandboxed, the application-specific \
+         handler uses fewer instructions than the generic hand-crafted \
+         one — check the 'specific sandboxed' row against the 'generic \
+         unsafe' row";
+      ];
+  }

@@ -1,0 +1,12 @@
+(** §V-D: sandboxing overhead on the DSM remote write. *)
+
+type variant = Generic | Specific
+
+val run_once :
+  variant:variant -> sandboxed:bool -> payload_len:int -> Ash_vm.Interp.result
+(** Execute one remote write in isolation (no communication costs). *)
+
+val overhead_ratio : variant:variant -> payload_len:int -> float
+(** Sandboxed/unsafe cycle ratio. *)
+
+val section_vd : unit -> Report.table

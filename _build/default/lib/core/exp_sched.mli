@@ -1,0 +1,5 @@
+(** Fig. 4: round-trip latency versus competing processes (§V-C). *)
+
+val procs : int list
+
+val fig4 : unit -> Report.table

@@ -1,0 +1,3 @@
+(** Table VI: TCP across delivery mechanisms (§V-B). *)
+
+val table6 : unit -> Report.table

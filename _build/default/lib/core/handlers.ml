@@ -1,0 +1,133 @@
+module Isa = Ash_vm.Isa
+module Builder = Ash_vm.Builder
+
+let magic = 0xA5A5A5A5
+
+let echo () =
+  let b = Builder.create ~name:"echo" () in
+  Builder.call b Isa.K_msg_len;
+  Builder.emit b (Isa.Mov (Isa.reg_arg1, Isa.reg_arg0));
+  Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  Builder.assemble b
+
+let remote_increment ~slot_addr =
+  let b = Builder.create ~name:"remote-increment" () in
+  let bad = Builder.fresh_label b in
+  let v = Builder.temp b
+  and want = Builder.temp b
+  and delta = Builder.temp b
+  and slot = Builder.temp b
+  and cur = Builder.temp b in
+  (* Protocol preamble: validate the message type word. *)
+  Builder.emit b (Isa.Ld32 (v, Isa.reg_msg_addr, 0));
+  Builder.li b want magic;
+  Builder.bne b v want bad;
+  (* Control initiation: the increment itself, on application state. *)
+  Builder.emit b (Isa.Ld32 (delta, Isa.reg_msg_addr, 4));
+  Builder.li b slot slot_addr;
+  Builder.emit b (Isa.Ld32 (cur, slot, 0));
+  Builder.emit b (Isa.Add (cur, cur, delta));
+  Builder.emit b (Isa.St32 (cur, slot, 0));
+  (* Message initiation: reply with the new value. *)
+  Builder.emit b (Isa.St32 (cur, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+  Builder.li b Isa.reg_arg1 4;
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
+  Builder.assemble b
+
+let pingpong_client ~state_addr =
+  let b = Builder.create ~name:"pingpong-client" () in
+  let done_l = Builder.fresh_label b in
+  let state = Builder.temp b
+  and remaining = Builder.temp b
+  and one = Builder.temp b in
+  Builder.li b state state_addr;
+  Builder.emit b (Isa.Ld32 (remaining, state, 0));
+  Builder.beq b remaining Isa.reg_zero done_l;
+  Builder.li b one 1;
+  Builder.emit b (Isa.Sub (remaining, remaining, one));
+  Builder.emit b (Isa.St32 (remaining, state, 0));
+  Builder.call b Isa.K_msg_len;
+  Builder.emit b (Isa.Mov (Isa.reg_arg1, Isa.reg_arg0));
+  Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  Builder.place b done_l;
+  Builder.li b one 1;
+  Builder.emit b (Isa.St32 (one, state, 4));
+  Builder.commit b;
+  Builder.assemble b
+
+let remote_write_generic ~table_addr ~entries =
+  let b = Builder.create ~name:"remote-write-generic" () in
+  let bad = Builder.fresh_label b in
+  let seg = Builder.temp b
+  and off = Builder.temp b
+  and size = Builder.temp b
+  and bound = Builder.temp b
+  and entry = Builder.temp b
+  and base = Builder.temp b
+  and limit = Builder.temp b
+  and stop = Builder.temp b in
+  (* Parse and validate the request header, as the generic protocol
+     must: the message has to hold the header plus the payload, the size
+     has to be word-aligned and within the transfer limit. *)
+  Builder.emit b (Isa.Ld32 (seg, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.Ld32 (off, Isa.reg_msg_addr, 4));
+  Builder.emit b (Isa.Ld32 (size, Isa.reg_msg_addr, 8));
+  Builder.emit b (Isa.Addi (stop, size, 12));
+  Builder.bltu b Isa.reg_msg_len stop bad;
+  Builder.emit b (Isa.Andi (stop, size, 3));
+  Builder.bne b stop Isa.reg_zero bad;
+  Builder.li b stop 4096;
+  Builder.bltu b stop size bad;
+  (* Segment-table translation with bounds checks. *)
+  Builder.li b bound entries;
+  Builder.bgeu b seg bound bad;
+  Builder.emit b (Isa.Sll (entry, seg, 3));
+  Builder.emit b (Isa.Addi (entry, entry, table_addr));
+  Builder.emit b (Isa.Ld32 (base, entry, 0));
+  Builder.emit b (Isa.Ld32 (limit, entry, 4));
+  Builder.emit b (Isa.Add (stop, off, size));
+  Builder.bltu b limit stop bad;
+  (* Copy the data through the trusted engine. *)
+  Builder.li b Isa.reg_arg0 12;
+  Builder.emit b (Isa.Add (Isa.reg_arg1, base, off));
+  Builder.emit b (Isa.Mov (Isa.reg_arg2, size));
+  Builder.call b Isa.K_copy;
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
+  Builder.assemble b
+
+let remote_write_specific () =
+  let b = Builder.create ~name:"remote-write-specific" () in
+  let ptr = Builder.temp b and size = Builder.temp b in
+  Builder.emit b (Isa.Ld32 (ptr, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.Ld32 (size, Isa.reg_msg_addr, 4));
+  Builder.li b Isa.reg_arg0 8;
+  Builder.emit b (Isa.Mov (Isa.reg_arg1, ptr));
+  Builder.emit b (Isa.Mov (Isa.reg_arg2, size));
+  Builder.call b Isa.K_copy;
+  Builder.commit b;
+  Builder.assemble b
+
+let dilp_deposit ~dilp_id ~dst_addr =
+  let b = Builder.create ~name:"dilp-deposit" () in
+  let bad = Builder.fresh_label b in
+  Builder.call b Isa.K_msg_len;
+  Builder.emit b (Isa.Mov (Isa.reg_arg3, Isa.reg_arg0));
+  Builder.li b Isa.reg_arg0 dilp_id;
+  Builder.li b Isa.reg_arg1 0;
+  Builder.li b Isa.reg_arg2 dst_addr;
+  Builder.call b Isa.K_dilp;
+  Builder.beq b Isa.reg_arg0 Isa.reg_zero bad;
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
+  Builder.assemble b

@@ -1,0 +1,47 @@
+(** The canonical handlers of the paper's experiments, written against
+    the VCODE-like builder exactly as an application programmer would
+    write them (§II-A: protocol/application preamble, data manipulation,
+    then commit or abort code).
+
+    Each returns an unassembled-from-source {!Ash_vm.Program.t} ready to
+    be passed to {!Ash_kern.Kernel.download_ash} (which verifies and
+    optionally sandboxes it). *)
+
+val echo : unit -> Ash_vm.Program.t
+(** Reply with the incoming message verbatim and consume it — the
+    server side of the raw latency benchmarks (Table I). *)
+
+val remote_increment : slot_addr:int -> Ash_vm.Program.t
+(** The remote-increment active message of Table V. Message format:
+    [magic(4) | delta(4)]. The handler validates the magic (protocol
+    preamble), adds [delta] to the 32-bit application word at
+    [slot_addr], overwrites the message's first word with the new value,
+    replies with those 4 bytes, and commits. A bad magic takes the
+    voluntary-abort path, falling back to user-level delivery. *)
+
+val pingpong_client : state_addr:int -> Ash_vm.Program.t
+(** In-kernel ping-pong client (Table I's "in-kernel AN2" row): on each
+    reply, decrement the remaining-iterations counter at [state_addr];
+    if zero, set the done flag at [state_addr+4] and stop; otherwise
+    bounce the message back. *)
+
+val remote_write_generic :
+  table_addr:int -> entries:int -> Ash_vm.Program.t
+(** The generic remote write of §V-D, after Thekkath et al.: message is
+    [seg(4) | off(4) | size(4) | data]. The handler bounds-checks [seg]
+    against the translation table at [table_addr] (pairs of
+    [base, limit] words), validates [off + size <= limit], and copies
+    the data via the trusted engine. Aborts on any validation failure. *)
+
+val remote_write_specific : unit -> Ash_vm.Program.t
+(** The application-specific remote write of §V-D: trusted peers send
+    [ptr(4) | size(4) | data], and the handler copies directly — "the
+    handler assumes it is given a pointer to memory, instead of a
+    segment descriptor and offset". Fewer instructions than the generic
+    version even after sandboxing, the paper's headline §V-D claim. *)
+
+val dilp_deposit : dilp_id:int -> dst_addr:int -> Ash_vm.Program.t
+(** Message vectoring with integrated processing: run the registered
+    DILP transfer [dilp_id] over the whole message, depositing it at
+    [dst_addr]; abort (fall back to the library) if the transfer engine
+    rejects. Exercises the [K_dilp] kernel call from handler code. *)

@@ -1,0 +1,32 @@
+(** Experiment result reporting: paper-vs-measured tables.
+
+    Every benchmark produces a {!table}; the bench harness prints them
+    all and EXPERIMENTS.md is generated from the same data. Rows carry
+    the paper's reported value when one exists so deviations are visible
+    at a glance. *)
+
+type row = {
+  label : string;
+  paper : float option;   (** The paper's value, if it reports one. *)
+  measured : float;
+  unit_ : string;          (** e.g. "us", "MB/s", "insns". *)
+}
+
+type table = {
+  id : string;             (** e.g. "table5", "fig3". *)
+  title : string;
+  rows : row list;
+  notes : string list;
+}
+
+val row : label:string -> ?paper:float -> measured:float -> unit_:string ->
+  unit -> row
+
+val print : Format.formatter -> table -> unit
+(** Aligned textual table with a deviation column. *)
+
+val to_markdown : table -> string
+(** Markdown rendering for EXPERIMENTS.md. *)
+
+val deviation : row -> float option
+(** measured/paper ratio, when the paper value exists and is nonzero. *)

@@ -1,0 +1,70 @@
+module Engine = Ash_sim.Engine
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+module Kernel = Ash_kern.Kernel
+module An2 = Ash_nic.An2
+module Ethernet = Ash_nic.Ethernet
+
+type node = {
+  kernel : Kernel.t;
+  an2 : An2.t;
+  eth : Ethernet.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  client : node;
+  server : node;
+}
+
+let make_node engine costs ~name ~ethernet =
+  let kernel = Kernel.create engine costs ~name in
+  let an2 = An2.create engine (Kernel.machine kernel) in
+  Kernel.attach_an2 kernel an2;
+  let eth =
+    if ethernet then begin
+      let e = Ethernet.create engine (Kernel.machine kernel) in
+      Kernel.attach_ethernet kernel e;
+      Some e
+    end
+    else None
+  in
+  { kernel; an2; eth }
+
+let create ?(client_costs = Costs.decstation)
+    ?(server_costs = Costs.decstation) ?(ethernet = false) () =
+  let engine = Engine.create () in
+  let client = make_node engine client_costs ~name:"client" ~ethernet in
+  let server = make_node engine server_costs ~name:"server" ~ethernet in
+  An2.connect client.an2 server.an2;
+  (match client.eth, server.eth with
+   | Some a, Some b -> Ethernet.connect a b
+   | None, None -> ()
+   | _ -> assert false);
+  { engine; client; server }
+
+let alloc node ?(name = "app") len =
+  Memory.alloc (Machine.mem (Kernel.machine node.kernel)) ~name len
+
+let alloc_filled node ?(name = "payload") ~seed len =
+  let r = alloc node ~name len in
+  let payload = Bytes.create len in
+  Ash_util.Rng.fill_bytes (Ash_util.Rng.create seed) payload;
+  Memory.blit_from_bytes
+    (Machine.mem (Kernel.machine node.kernel))
+    ~src:payload ~src_off:0 ~dst:r.Memory.base ~len;
+  r
+
+let post_buffers node ~vc ~count ~size =
+  for i = 1 to count do
+    let r = alloc node ~name:(Printf.sprintf "rxbuf-%d-%d" vc i) size in
+    Kernel.post_receive_buffer node.kernel ~vc ~addr:r.Memory.base
+      ~len:r.Memory.len
+  done
+
+let run t = Engine.run t.engine
+
+let run_for t d = Engine.run_until t.engine (Engine.now t.engine + d)
+
+let now_us t = Ash_sim.Time.us_of_ns (Engine.now t.engine)

@@ -1,0 +1,44 @@
+(** The two-DECstation testbed (§IV-A): a pair of simulated nodes whose
+    AN2 boards are wired through a switch, optionally with an Ethernet
+    segment between them, driven by one shared event engine.
+
+    Conventions used throughout the experiments: [client] initiates,
+    [server] responds. *)
+
+type node = {
+  kernel : Ash_kern.Kernel.t;
+  an2 : Ash_nic.An2.t;
+  eth : Ash_nic.Ethernet.t option;
+}
+
+type t = {
+  engine : Ash_sim.Engine.t;
+  client : node;
+  server : node;
+}
+
+val create :
+  ?client_costs:Ash_sim.Costs.t ->
+  ?server_costs:Ash_sim.Costs.t ->
+  ?ethernet:bool ->
+  unit ->
+  t
+(** Both nodes default to {!Ash_sim.Costs.decstation}. [ethernet]
+    additionally wires Ethernet NICs (default false). *)
+
+val alloc : node -> ?name:string -> int -> Ash_sim.Memory.region
+(** Allocate pinned application memory on a node. *)
+
+val alloc_filled : node -> ?name:string -> seed:int -> int ->
+  Ash_sim.Memory.region
+(** Allocate and fill with deterministic pseudo-random payload. *)
+
+val post_buffers : node -> vc:int -> count:int -> size:int -> unit
+(** Allocate [count] receive buffers and post them on the VC. *)
+
+val run : t -> unit
+(** Run the engine until the event queue drains. *)
+
+val run_for : t -> Ash_sim.Time.ns -> unit
+
+val now_us : t -> float

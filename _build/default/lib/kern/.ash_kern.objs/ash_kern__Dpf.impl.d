@@ -1,0 +1,1 @@
+lib/kern/dpf.ml: Ash_sim Ash_util Ash_vm Bytes List

@@ -1,0 +1,1 @@
+lib/kern/dpf.mli: Ash_sim Ash_vm Bytes

@@ -1,0 +1,1 @@
+lib/kern/kernel.ml: Array Ash_nic Ash_pipes Ash_sim Ash_vm Bytes Dpf Hashtbl List Printf Queue Sched

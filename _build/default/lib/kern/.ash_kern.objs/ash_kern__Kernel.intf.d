@@ -1,0 +1,1 @@
+lib/kern/kernel.mli: Ash_nic Ash_pipes Ash_sim Ash_vm Bytes Dpf Sched

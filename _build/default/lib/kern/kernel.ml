@@ -1,0 +1,602 @@
+module Engine = Ash_sim.Engine
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+module Isa = Ash_vm.Isa
+module Program = Ash_vm.Program
+module Verify = Ash_vm.Verify
+module Sandbox = Ash_vm.Sandbox
+module Interp = Ash_vm.Interp
+module Dilp = Ash_pipes.Dilp
+module An2 = Ash_nic.An2
+module Ethernet = Ash_nic.Ethernet
+
+type ash_id = int
+
+type delivery =
+  | Deliver_ash of ash_id
+  | Deliver_upcall of ash_id
+  | Deliver_user
+
+type app_state = Polling | Suspended
+
+type stats = {
+  rx_delivered : int;
+  rx_dropped_unbound : int;
+  ash_committed : int;
+  ash_aborted_voluntary : int;
+  ash_aborted_involuntary : int;
+  upcalls : int;
+  user_deliveries : int;
+  tx_frames : int;
+}
+
+type ash = {
+  program : Program.t;
+  sandboxed : bool;
+  hardwired : bool;
+  allowed : Isa.kcall list;
+  sb_stats : Sandbox.stats option;
+  mutable last : Interp.result option;
+}
+
+type binding = {
+  bvc : int;
+  mutable delivery : delivery;
+  mutable user_handler : (addr:int -> len:int -> unit) option;
+  mutable commit_hook : (unit -> unit) option;
+  mutable auto_repost : bool;
+  (* Receive-livelock protection (§VI-4): at most [ash_budget] handler
+     runs per clock tick; [None] = unlimited. *)
+  mutable ash_budget : int option;
+  mutable ash_tick_start : Ash_sim.Time.ns;
+  mutable ash_ran_this_tick : int;
+  filter : (Dpf.t * Program.t option) option; (* Ethernet bindings only *)
+}
+
+type tx_target = Tx_an2 of int | Tx_eth
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  machine : Machine.t;
+  kname : string;
+  mutable an2 : An2.t option;
+  mutable eth : Ethernet.t option;
+  ashes : (int, ash) Hashtbl.t;
+  mutable next_ash : int;
+  dilps : (int, Dilp.compiled) Hashtbl.t;
+  mutable next_dilp : int;
+  bindings : (int, binding) Hashtbl.t;
+  mutable eth_bindings : binding list; (* install order *)
+  mutable next_eth_vc : int;
+  mutable app_state : app_state;
+  mutable sched : Sched.t option;
+  mutable app_proc : Sched.proc option;
+  pending_tx : (tx_target * Bytes.t) Queue.t;
+  mutable horizon : Ash_sim.Time.ns;
+  (* Absolute time until which this node's CPU is busy: consecutive
+     meter drains within one event (or closely spaced events) serialize
+     behind each other instead of overlapping. *)
+  mutable eth_pktbufs : int list;
+  (* stats *)
+  mutable s_rx_delivered : int;
+  mutable s_rx_dropped_unbound : int;
+  mutable s_ash_committed : int;
+  mutable s_ash_vol : int;
+  mutable s_ash_invol : int;
+  mutable s_upcalls : int;
+  mutable s_user : int;
+  mutable s_tx : int;
+}
+
+let create engine costs ~name =
+  {
+    engine;
+    costs;
+    machine = Machine.create costs;
+    kname = name;
+    an2 = None;
+    eth = None;
+    ashes = Hashtbl.create 8;
+    next_ash = 0;
+    dilps = Hashtbl.create 8;
+    next_dilp = 0;
+    bindings = Hashtbl.create 8;
+    eth_bindings = [];
+    next_eth_vc = 10_000;
+    app_state = Polling;
+    sched = None;
+    app_proc = None;
+    pending_tx = Queue.create ();
+    horizon = 0;
+    eth_pktbufs = [];
+    s_rx_delivered = 0;
+    s_rx_dropped_unbound = 0;
+    s_ash_committed = 0;
+    s_ash_vol = 0;
+    s_ash_invol = 0;
+    s_upcalls = 0;
+    s_user = 0;
+    s_tx = 0;
+  }
+
+let engine t = t.engine
+let machine t = t.machine
+let costs t = t.costs
+let name t = t.kname
+
+(* ---------------------------------------------------------------- *)
+(* Meter / transmit settlement                                       *)
+(* ---------------------------------------------------------------- *)
+
+let do_transmit t (target, frame) =
+  t.s_tx <- t.s_tx + 1;
+  match target with
+  | Tx_an2 vc -> begin
+      match t.an2 with
+      | Some nic -> An2.transmit nic ~vc frame
+      | None -> failwith "Kernel: no AN2 attached"
+    end
+  | Tx_eth -> begin
+      match t.eth with
+      | Some nic -> Ethernet.transmit nic frame
+      | None -> failwith "Kernel: no Ethernet attached"
+    end
+
+(* Drain the work meter; schedule any queued transmissions to leave the
+   node when that work completes. Work serializes behind any earlier
+   still-unfinished work on this CPU (the horizon), so several sends
+   issued within one event leave the node in issue order. Returns the
+   delay from now until the work completes. *)
+let settle t =
+  let d = Machine.take_ns t.machine in
+  let now = Engine.now t.engine in
+  let finish = max now t.horizon + d in
+  t.horizon <- finish;
+  let delay = finish - now in
+  if not (Queue.is_empty t.pending_tx) then begin
+    let frames = List.of_seq (Queue.to_seq t.pending_tx) in
+    Queue.clear t.pending_tx;
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           List.iter (do_transmit t) frames))
+  end;
+  delay
+
+let queue_tx t target frame = Queue.add (target, frame) t.pending_tx
+
+(* ---------------------------------------------------------------- *)
+(* ASHs and DILP                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let default_allowed =
+  Isa.[ K_msg_read8; K_msg_read16; K_msg_read32; K_msg_write32; K_copy;
+        K_dilp; K_send; K_msg_len ]
+
+let download_ash t ?(sandbox = true) ?(hardwired = false)
+    ?(allowed_calls = default_allowed) program =
+  match Verify.check ~allowed_calls program with
+  | Error e -> Error e
+  | Ok p ->
+    let p, sb_stats =
+      if sandbox then
+        let sp, st = Sandbox.apply p in
+        (sp, Some st)
+      else (p, None)
+    in
+    let id = t.next_ash in
+    t.next_ash <- id + 1;
+    Hashtbl.add t.ashes id
+      { program = p; sandboxed = sandbox; hardwired;
+        allowed = allowed_calls; sb_stats; last = None };
+    Ok id
+
+let find_ash t id =
+  match Hashtbl.find_opt t.ashes id with
+  | Some a -> a
+  | None -> failwith "Kernel: unknown ASH id"
+
+let ash_sandbox_stats t id = (find_ash t id).sb_stats
+let ash_last_result t id = (find_ash t id).last
+
+let register_dilp t compiled =
+  let id = t.next_dilp in
+  t.next_dilp <- id + 1;
+  Hashtbl.add t.dilps id compiled;
+  id
+
+(* The K_dilp implementation: look up the compiled transfer, seed its
+   persistent registers from the calling handler's register file, run,
+   and write the results back (§II-B import/export). *)
+let dilp_callback t ~id ~src ~dst ~len ~regs =
+  match Hashtbl.find_opt t.dilps id with
+  | None -> false
+  | Some c ->
+    if len < 0 || len land 3 <> 0 then false
+    else begin
+      let init = List.map (fun r -> (r, regs.(r))) c.Dilp.persistent in
+      match Dilp.execute ~init t.machine c ~src ~dst ~len with
+      | { Interp.outcome = Interp.Returned; regs = final; _ } ->
+        List.iter (fun r -> regs.(r) <- final.(r)) c.Dilp.persistent;
+        true
+      | _ -> false
+      | exception Invalid_argument _ -> false
+    end
+
+(* ---------------------------------------------------------------- *)
+(* Bindings                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let bind_vc t ~vc delivery =
+  if Hashtbl.mem t.bindings vc then invalid_arg "Kernel.bind_vc: bound";
+  (match t.an2 with
+   | Some nic -> An2.bind_vc nic ~vc
+   | None -> failwith "Kernel.bind_vc: no AN2 attached");
+  Hashtbl.add t.bindings vc
+    { bvc = vc; delivery; user_handler = None; commit_hook = None;
+      auto_repost = false; ash_budget = None; ash_tick_start = 0;
+      ash_ran_this_tick = 0; filter = None }
+
+let rebind_vc t ~vc delivery =
+  match Hashtbl.find_opt t.bindings vc with
+  | Some b -> b.delivery <- delivery
+  | None -> invalid_arg "Kernel.rebind_vc: unbound"
+
+let bind_eth_filter t filter ~compiled delivery =
+  let vc = t.next_eth_vc in
+  t.next_eth_vc <- vc + 1;
+  let prog = if compiled then Some (Dpf.compile filter) else None in
+  let b =
+    { bvc = vc; delivery; user_handler = None; commit_hook = None;
+      auto_repost = false; ash_budget = None; ash_tick_start = 0;
+      ash_ran_this_tick = 0; filter = Some (filter, prog) }
+  in
+  Hashtbl.add t.bindings vc b;
+  t.eth_bindings <- t.eth_bindings @ [ b ];
+  vc
+
+let set_user_handler t ~vc h =
+  match Hashtbl.find_opt t.bindings vc with
+  | Some b -> b.user_handler <- Some h
+  | None -> invalid_arg "Kernel.set_user_handler: unbound"
+
+let set_commit_hook t ~vc h =
+  match Hashtbl.find_opt t.bindings vc with
+  | Some b -> b.commit_hook <- Some h
+  | None -> invalid_arg "Kernel.set_commit_hook: unbound"
+
+let post_receive_buffer t ~vc ~addr ~len =
+  match t.an2 with
+  | Some nic -> An2.post_buffer nic ~vc ~addr ~len
+  | None -> failwith "Kernel.post_receive_buffer: no AN2 attached"
+
+let set_auto_repost t ~vc v =
+  match Hashtbl.find_opt t.bindings vc with
+  | Some b -> b.auto_repost <- v
+  | None -> invalid_arg "Kernel.set_auto_repost: unbound"
+
+let set_app_state t s = t.app_state <- s
+
+let set_ash_rate_limit t ~vc ~per_tick =
+  if per_tick <= 0 then invalid_arg "Kernel.set_ash_rate_limit";
+  match Hashtbl.find_opt t.bindings vc with
+  | Some b -> b.ash_budget <- Some per_tick
+  | None -> invalid_arg "Kernel.set_ash_rate_limit: unbound"
+
+(* Has this binding exhausted its per-tick handler budget? Charges the
+   bookkeeping the paper requires ("track the number of ASHs recently
+   executed"). *)
+let ash_over_budget t b =
+  match b.ash_budget with
+  | None -> false
+  | Some budget ->
+    Machine.charge_cycles t.machine 4;
+    let now = Engine.now t.engine in
+    let tick = t.costs.Costs.quantum_ns in
+    if now - b.ash_tick_start >= tick then begin
+      b.ash_tick_start <- now - (now mod tick);
+      b.ash_ran_this_tick <- 0
+    end;
+    if b.ash_ran_this_tick >= budget then true
+    else begin
+      b.ash_ran_this_tick <- b.ash_ran_this_tick + 1;
+      false
+    end
+
+let setup_scheduler t ~policy ~nprocs =
+  if nprocs < 1 then invalid_arg "Kernel.setup_scheduler";
+  let s = Sched.create t.engine t.costs ~policy in
+  let app = Sched.add_proc s ~name:"app" in
+  for i = 2 to nprocs do
+    ignore (Sched.add_proc s ~name:(Printf.sprintf "bg%d" i))
+  done;
+  t.sched <- Some s;
+  t.app_proc <- Some app
+
+(* ---------------------------------------------------------------- *)
+(* Send paths                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let charge_ns t ns = Machine.charge_ns t.machine ns
+
+let kernel_send_costs t = charge_ns t t.costs.Costs.kern_send_ns
+
+let user_send_costs t =
+  charge_ns t
+    (t.costs.Costs.syscall_ns + t.costs.Costs.board_write_ns
+     + t.costs.Costs.kern_send_ns)
+
+let user_send t ~vc frame =
+  user_send_costs t;
+  queue_tx t (Tx_an2 vc) frame;
+  ignore (settle t)
+
+let kernel_send t ~vc frame =
+  kernel_send_costs t;
+  queue_tx t (Tx_an2 vc) frame;
+  ignore (settle t)
+
+let eth_user_send t frame =
+  user_send_costs t;
+  queue_tx t Tx_eth frame;
+  ignore (settle t)
+
+let eth_kernel_send t frame =
+  kernel_send_costs t;
+  queue_tx t Tx_eth frame;
+  ignore (settle t)
+
+let app_compute t ns = charge_ns t ns
+
+(* ---------------------------------------------------------------- *)
+(* Delivery paths                                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* How long until the application can react to a notification that has
+   just been posted (Tables V/VI columns; Fig. 4 curves). *)
+let wakeup_wait t =
+  let c = t.costs in
+  match t.sched, t.app_proc with
+  | Some s, Some app ->
+    if Sched.is_current s app then c.Costs.poll_detect_ns
+    else begin
+      match Sched.policy s with
+      | Sched.Oblivious_rr ->
+        Sched.wait_until_scheduled s app + c.Costs.poll_detect_ns
+      | Sched.Priority_boost -> Sched.wait_until_scheduled s app
+    end
+  | _ -> begin
+      match t.app_state with
+      | Polling -> c.Costs.poll_detect_ns
+      | Suspended ->
+        (* The paper's interrupt simulation: a dummy process polls,
+           discovers the message, and yields to the application. *)
+        c.Costs.poll_detect_ns + c.Costs.yield_ns
+        + c.Costs.context_switch_ns
+    end
+
+let user_path t b ~addr ~len ~release =
+  t.s_user <- t.s_user + 1;
+  let wait = wakeup_wait t in
+  let d = settle t in
+  ignore
+    (Engine.schedule t.engine ~delay:(d + wait) (fun () ->
+         charge_ns t
+           (t.costs.Costs.crossing_ns + t.costs.Costs.user_rx_overhead_ns);
+         (match b.user_handler with
+          | Some h -> h ~addr ~len
+          | None -> ());
+         release ();
+         ignore (settle t)))
+
+(* Environment for a handler executing in the kernel (ASH). *)
+let ash_env t ~vc ~addr ~len ~allowed =
+  {
+    Interp.machine = t.machine;
+    msg_addr = addr;
+    msg_len = len;
+    allowed_calls = allowed;
+    dilp = dilp_callback t;
+    send =
+      (fun frame ->
+         kernel_send_costs t;
+         queue_tx t (Tx_an2 vc) frame);
+    gas_cycles = Interp.default_gas;
+  }
+
+(* Environment for the same handler run at user level via upcall: sends
+   pay the system-call path. *)
+let upcall_env t ~vc ~addr ~len ~allowed =
+  {
+    (ash_env t ~vc ~addr ~len ~allowed) with
+    Interp.send =
+      (fun frame ->
+         user_send_costs t;
+         queue_tx t (Tx_an2 vc) frame);
+  }
+
+let eth_env base t =
+  {
+    base with
+    Interp.send =
+      (fun frame ->
+         kernel_send_costs t;
+         queue_tx t Tx_eth frame);
+  }
+
+let run_handler_common t b ~addr ~len ~release ~env ~upcall ~(ash : ash) =
+  let r = Interp.run env ash.program in
+  ash.last <- Some r;
+  match r.Interp.outcome with
+  | Interp.Committed ->
+    t.s_ash_committed <- t.s_ash_committed + 1;
+    release ();
+    (match b.commit_hook with
+     | None -> ignore (settle t)
+     | Some hook ->
+       (* The owning application notices the handler's effects on its
+          next poll of the shared state. After an upcall the
+          application's address space is already active (the upcall ran
+          in it), so only the poll cost applies; after an in-kernel ASH
+          the application must be running or be woken. *)
+       let wait =
+         if upcall then
+           t.costs.Costs.poll_detect_ns + t.costs.Costs.upcall_resume_ns
+         else wakeup_wait t
+       in
+       let d = settle t in
+       ignore
+         (Engine.schedule t.engine ~delay:(d + wait) (fun () ->
+              charge_ns t t.costs.Costs.crossing_ns;
+              hook ();
+              ignore (settle t))))
+  | Interp.Aborted | Interp.Returned ->
+    t.s_ash_vol <- t.s_ash_vol + 1;
+    (* Voluntary abort: the kernel handles the message normally. *)
+    user_path t b ~addr ~len ~release
+  | Interp.Killed _ ->
+    t.s_ash_invol <- t.s_ash_invol + 1;
+    user_path t b ~addr ~len ~release
+
+let ash_path t b id ~eth ~addr ~len ~release =
+  let ash = find_ash t id in
+  if not ash.hardwired then begin
+    charge_ns t t.costs.Costs.ash_dispatch_ns;
+    if ash.sandboxed then charge_ns t (2 * t.costs.Costs.ash_timer_ns)
+  end;
+  let env = ash_env t ~vc:b.bvc ~addr ~len ~allowed:ash.allowed in
+  let env = if eth then eth_env env t else env in
+  run_handler_common t b ~addr ~len ~release ~env ~upcall:false ~ash
+
+let upcall_path t b id ~eth ~addr ~len ~release =
+  let ash = find_ash t id in
+  t.s_upcalls <- t.s_upcalls + 1;
+  charge_ns t t.costs.Costs.upcall_ns;
+  if t.app_state = Suspended then
+    charge_ns t t.costs.Costs.upcall_suspended_extra_ns;
+  let env = upcall_env t ~vc:b.bvc ~addr ~len ~allowed:ash.allowed in
+  let env = if eth then eth_env env t else env in
+  run_handler_common t b ~addr ~len ~release ~env ~upcall:true ~ash;
+  (* Return crossing from the upcall back into the kernel. *)
+  charge_ns t t.costs.Costs.crossing_ns
+
+let dispatch t b ~eth ~addr ~len ~release =
+  t.s_rx_delivered <- t.s_rx_delivered + 1;
+  match b.delivery with
+  | Deliver_ash id when not (ash_over_budget t b) ->
+    ash_path t b id ~eth ~addr ~len ~release
+  | Deliver_upcall id -> upcall_path t b id ~eth ~addr ~len ~release
+  | Deliver_ash _ | Deliver_user -> user_path t b ~addr ~len ~release
+
+(* ---------------------------------------------------------------- *)
+(* Driver receive hooks                                              *)
+(* ---------------------------------------------------------------- *)
+
+let on_an2_rx t (rx : An2.rx) =
+  match Hashtbl.find_opt t.bindings rx.An2.vc with
+  | None -> t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1
+  | Some b ->
+    (* Software cache flush of the message location after DMA (§V). *)
+    Machine.flush_range t.machine ~addr:rx.An2.addr ~len:rx.An2.len;
+    charge_ns t t.costs.Costs.kern_rx_ns;
+    if not rx.An2.crc_ok then begin
+      (* Link-level corruption: the driver drops the frame and recycles
+         the buffer; protocols recover end to end. *)
+      t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+      if b.auto_repost then
+        post_receive_buffer t ~vc:rx.An2.vc ~addr:rx.An2.addr
+          ~len:rx.An2.buf_len;
+      ignore (settle t)
+    end
+    else begin
+      let release () =
+        if b.auto_repost then
+          post_receive_buffer t ~vc:rx.An2.vc ~addr:rx.An2.addr
+            ~len:rx.An2.buf_len
+      in
+      dispatch t b ~eth:false ~addr:rx.An2.addr ~len:rx.An2.len ~release
+    end
+
+let eth_pktbuf_count = 32
+
+let take_pktbuf t =
+  match t.eth_pktbufs with
+  | [] -> None
+  | p :: rest ->
+    t.eth_pktbufs <- rest;
+    Some p
+
+let on_eth_rx t (rx : Ethernet.rx) =
+  let eth = match t.eth with Some e -> e | None -> assert false in
+  charge_ns t t.costs.Costs.kern_rx_ns;
+  if not rx.Ethernet.crc_ok then begin
+    Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
+    t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+    ignore (settle t)
+  end
+  else begin
+    match take_pktbuf t with
+    | None ->
+      Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
+      t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+      ignore (settle t)
+    | Some pktbuf ->
+      (* The mandatory copy out of the device's limited buffers
+         (§V-A1), de-striping as it goes (§III-C). *)
+      Ethernet.destripe eth rx ~dst:pktbuf;
+      Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
+      let len = rx.Ethernet.len in
+      let release () = t.eth_pktbufs <- pktbuf :: t.eth_pktbufs in
+      (* DPF demultiplexing over the contiguous packet. *)
+      let matching =
+        List.find_opt
+          (fun b ->
+             match b.filter with
+             | Some (spec, Some prog) ->
+               Dpf.run_compiled t.machine prog ~msg_addr:pktbuf ~msg_len:len
+               |> fun ok ->
+               ignore spec;
+               ok
+             | Some (spec, None) ->
+               Dpf.run_interpreted t.machine spec ~msg_addr:pktbuf
+                 ~msg_len:len
+             | None -> false)
+          t.eth_bindings
+      in
+      (match matching with
+       | None ->
+         release ();
+         t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+         ignore (settle t)
+       | Some b -> dispatch t b ~eth:true ~addr:pktbuf ~len ~release)
+  end
+
+let attach_an2 t nic =
+  if t.an2 <> None then invalid_arg "Kernel.attach_an2: already attached";
+  t.an2 <- Some nic;
+  An2.set_rx_handler nic (on_an2_rx t)
+
+let attach_ethernet t nic =
+  if t.eth <> None then invalid_arg "Kernel.attach_ethernet: already attached";
+  t.eth <- Some nic;
+  let mem = Machine.mem t.machine in
+  t.eth_pktbufs <-
+    List.init eth_pktbuf_count (fun i ->
+        (Memory.alloc mem
+           ~name:(Printf.sprintf "eth-pktbuf-%d" i)
+           t.costs.Costs.eth_mtu)
+          .Memory.base);
+  Ethernet.set_rx_handler nic (on_eth_rx t)
+
+let stats t =
+  {
+    rx_delivered = t.s_rx_delivered;
+    rx_dropped_unbound = t.s_rx_dropped_unbound;
+    ash_committed = t.s_ash_committed;
+    ash_aborted_voluntary = t.s_ash_vol;
+    ash_aborted_involuntary = t.s_ash_invol;
+    upcalls = t.s_upcalls;
+    user_deliveries = t.s_user;
+    tx_frames = t.s_tx;
+  }

@@ -1,0 +1,169 @@
+(** The per-node kernel: Aegis as the ASH system needs it.
+
+    One instance models everything running on one DECstation: the device
+    drivers, the demultiplexing step, the ASH registry and dispatch path,
+    fast upcalls, the default user-level delivery path, and the send
+    system calls. All CPU work is charged to the node's
+    {!Ash_sim.Machine.t}; the kernel drains the meter and schedules
+    follow-on events (transmissions, application handler invocations) on
+    the shared engine, so end-to-end latencies emerge from the executed
+    paths rather than from closed-form formulas.
+
+    Delivery modes per demux binding mirror the paper's comparison
+    columns (Tables V and VI):
+    - [Deliver_ash]: run the downloaded handler in the kernel directly
+      from the driver ("ASHs are invoked directly from the AN2 device
+      driver, just after it performs a software cache flush of the
+      message location").
+    - [Deliver_upcall]: dispatch a fast asynchronous upcall and run the
+      same handler at user level; sends from it pay the system-call
+      path.
+    - [Deliver_user]: default path — enqueue a notification; the
+      application sees it after polling/scheduling delay and pays the
+      full user receive path.
+
+    A handler that aborts (voluntarily or not) falls back to
+    [Deliver_user], as the paper's TCP handler does when header
+    prediction fails. *)
+
+type t
+
+type ash_id
+
+type delivery =
+  | Deliver_ash of ash_id
+  | Deliver_upcall of ash_id
+  | Deliver_user
+
+type app_state =
+  | Polling    (** Scheduled and spinning on the notification ring. *)
+  | Suspended  (** Not scheduled; must be woken (the paper simulates the
+                   interrupt with a polling dummy process that yields). *)
+
+type stats = {
+  rx_delivered : int;
+  rx_dropped_unbound : int;
+  ash_committed : int;
+  ash_aborted_voluntary : int;
+  ash_aborted_involuntary : int;
+  upcalls : int;
+  user_deliveries : int;
+  tx_frames : int;
+}
+
+val create : Ash_sim.Engine.t -> Ash_sim.Costs.t -> name:string -> t
+val engine : t -> Ash_sim.Engine.t
+val machine : t -> Ash_sim.Machine.t
+val costs : t -> Ash_sim.Costs.t
+val name : t -> string
+
+(* -- Devices ----------------------------------------------------------- *)
+
+val attach_an2 : t -> Ash_nic.An2.t -> unit
+(** Install the driver receive hook. The NIC must belong to this node's
+    machine. *)
+
+val attach_ethernet : t -> Ash_nic.Ethernet.t -> unit
+
+(* -- ASHs --------------------------------------------------------------- *)
+
+val download_ash :
+  t ->
+  ?sandbox:bool ->
+  ?hardwired:bool ->
+  ?allowed_calls:Ash_vm.Isa.kcall list ->
+  Ash_vm.Program.t ->
+  (ash_id, Ash_vm.Verify.error) result
+(** Verify and (by default) sandbox a handler, install it, and hand back
+    an identifier — the download step of §II. [sandbox:false] installs
+    the unsafe variant measured in Tables V/VI. [hardwired:true] marks
+    hand-written in-kernel code (Table I's "in-kernel" row): it skips
+    the per-invocation ASH dispatch and timer costs. *)
+
+val ash_sandbox_stats : t -> ash_id -> Ash_vm.Sandbox.stats option
+(** Instructions added by the sandboxer ([None] for unsandboxed). *)
+
+val ash_last_result : t -> ash_id -> Ash_vm.Interp.result option
+(** Instrumentation: the most recent invocation's interpreter result
+    (dynamic instruction counts, §V-B/§V-D). *)
+
+(* -- Dynamic ILP -------------------------------------------------------- *)
+
+val register_dilp : t -> Ash_pipes.Dilp.compiled -> int
+(** Make a compiled pipe list callable from handlers via [K_dilp]; the
+    returned handle is the id to load into [reg_arg0]. *)
+
+(* -- Demultiplexing and delivery ---------------------------------------- *)
+
+val bind_vc : t -> vc:int -> delivery -> unit
+(** Bind an AN2 virtual circuit (and open it on the attached NIC). *)
+
+val rebind_vc : t -> vc:int -> delivery -> unit
+(** Change the delivery mode of an existing binding (e.g. disable ASHs
+    under load, §VI-4). *)
+
+val bind_eth_filter : t -> Dpf.t -> compiled:bool -> delivery -> int
+(** Install a packet filter for Ethernet demux; first installed match
+    wins. [compiled:false] uses the interpreted engine (ablation A1).
+    Returns the binding's pseudo-vc (10000, 10001, ...), usable with
+    {!set_user_handler} and {!rebind_vc}. *)
+
+val set_user_handler : t -> vc:int -> (addr:int -> len:int -> unit) -> unit
+(** Application code run on user-level delivery (and on handler
+    fallback). It runs in application context: charge application work
+    via {!app_compute}; send with {!user_send}. For Ethernet bindings,
+    use the [vc] value returned by binding order: filter bindings get
+    pseudo-vc numbers 10000, 10001, ... *)
+
+val set_commit_hook : t -> vc:int -> (unit -> unit) -> unit
+(** Application code run (in application context, after the usual
+    wakeup/poll delay and boundary crossing) whenever a downloaded
+    handler on this binding commits. Models the library noticing, on its
+    next poll of the shared TCB/ring, that the handler consumed a
+    message — how the paper's synchronous [write] learns that its ack
+    was absorbed by the ASH. *)
+
+val post_receive_buffer : t -> vc:int -> addr:int -> len:int -> unit
+val set_auto_repost : t -> vc:int -> bool -> unit
+(** Repost a consumed receive buffer automatically after ASH commit —
+    the steady-state of a ping-pong server. Default [false]. *)
+
+(* -- Application execution state ---------------------------------------- *)
+
+val set_app_state : t -> app_state -> unit
+(** Default [Polling]. *)
+
+val set_ash_rate_limit : t -> vc:int -> per_tick:int -> unit
+(** Receive-livelock protection (§VI-4): "the operating system must
+    track the number of ASHs recently executed for each process and
+    refuse to execute any more for processes receiving more than their
+    share of messages." Allow at most [per_tick] handler executions per
+    clock tick on this binding; excess arrivals take the default
+    user-level path (ASHs are "an eager, not a lazy technique" — under
+    overload the kernel falls back to lazy delivery at the receiver's
+    priority). The tick is the scheduler quantum. *)
+
+val setup_scheduler : t -> policy:Sched.policy -> nprocs:int -> unit
+(** Install a process-rotation model with [nprocs] runnable processes
+    (the application is one of them) — Fig. 4's competing-process
+    experiment. Without this call, scheduling delay is modeled only
+    through {!set_app_state}. *)
+
+(* -- Sends --------------------------------------------------------------- *)
+
+val user_send : t -> vc:int -> Bytes.t -> unit
+(** Transmit from application context: pays the system call, the
+    user-level writes to the AN2 board, and the kernel transmit path. *)
+
+val kernel_send : t -> vc:int -> Bytes.t -> unit
+(** Transmit from kernel context (hardwired code or testbed kernels):
+    pays only the kernel transmit path. *)
+
+val eth_user_send : t -> Bytes.t -> unit
+val eth_kernel_send : t -> Bytes.t -> unit
+
+val app_compute : t -> Ash_sim.Time.ns -> unit
+(** Charge application-level work (protocol library processing etc.) to
+    the node's meter from inside a user handler. *)
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/nic/an2.ml: Ash_sim Ash_util Bytes Char Hashtbl Link List

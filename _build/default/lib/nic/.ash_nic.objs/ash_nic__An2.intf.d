@@ -1,0 +1,1 @@
+lib/nic/an2.mli: Ash_sim Bytes

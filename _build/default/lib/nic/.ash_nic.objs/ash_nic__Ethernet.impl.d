@@ -1,0 +1,1 @@
+lib/nic/ethernet.ml: Ash_sim Ash_util Bytes Char Link List Printf

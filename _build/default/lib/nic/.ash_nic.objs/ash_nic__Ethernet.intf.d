@@ -1,0 +1,1 @@
+lib/nic/ethernet.mli: Ash_sim Bytes

@@ -1,0 +1,1 @@
+lib/nic/link.ml: Ash_sim Float

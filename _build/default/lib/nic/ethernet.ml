@@ -1,0 +1,151 @@
+module Engine = Ash_sim.Engine
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+module Crc32 = Ash_util.Crc32
+
+let stripe = 16
+
+type rx = { ring_addr : int; len : int; crc_ok : bool }
+
+type stats = {
+  tx_frames : int;
+  rx_frames : int;
+  rx_dropped_no_buffer : int;
+  rx_crc_errors : int;
+}
+
+type t = {
+  engine : Engine.t;
+  machine : Machine.t;
+  mtu : int;
+  mutable free_ring : int list;        (* available slot base addresses *)
+  mutable outstanding : int list;      (* slots held by the driver *)
+  ring_slots : int list;               (* all slot base addresses *)
+  mutable rx_handler : rx -> unit;
+  mutable peer : t option;
+  mutable tx_link : Link.t option;
+  mutable corrupt_next : bool;
+  mutable tx_frames : int;
+  mutable rx_frames : int;
+  mutable rx_dropped_no_buffer : int;
+  mutable rx_crc_errors : int;
+}
+
+let create engine machine =
+  let costs = Machine.costs machine in
+  let mem = Machine.mem machine in
+  let slots =
+    List.init costs.Costs.eth_rx_ring_slots (fun i ->
+        (Memory.alloc mem
+           ~name:(Printf.sprintf "eth-ring-%d" i)
+           (2 * costs.Costs.eth_mtu))
+          .Memory.base)
+  in
+  {
+    engine;
+    machine;
+    mtu = costs.Costs.eth_mtu;
+    free_ring = slots;
+    outstanding = [];
+    ring_slots = slots;
+    rx_handler = ignore;
+    peer = None;
+    tx_link = None;
+    corrupt_next = false;
+    tx_frames = 0;
+    rx_frames = 0;
+    rx_dropped_no_buffer = 0;
+    rx_crc_errors = 0;
+  }
+
+let connect a b =
+  if a.peer <> None || b.peer <> None then
+    invalid_arg "Ethernet.connect: already connected";
+  let costs = Machine.costs a.machine in
+  let mk () =
+    Link.create a.engine ~fixed_ns:costs.Costs.eth_hw_oneway_ns
+      ~ns_per_byte:costs.Costs.eth_ns_per_byte ()
+  in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  a.tx_link <- Some (mk ());
+  b.tx_link <- Some (mk ())
+
+let set_rx_handler t f = t.rx_handler <- f
+
+(* DMA a packet into a ring slot, striped: 16 bytes of data, 16 bytes of
+   padding, repeating (§III-C). *)
+let dma_striped t ~slot ~payload =
+  let mem = Machine.mem t.machine in
+  let len = Bytes.length payload in
+  let off = ref 0 in
+  while !off < len do
+    let chunk = min stripe (len - !off) in
+    Memory.blit_from_bytes mem ~src:payload ~src_off:!off
+      ~dst:(slot + (2 * !off)) ~len:chunk;
+    off := !off + chunk
+  done
+
+let deliver t ~payload ~crc_sent =
+  match t.free_ring with
+  | [] -> t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1
+  | slot :: rest ->
+    t.free_ring <- rest;
+    t.outstanding <- slot :: t.outstanding;
+    dma_striped t ~slot ~payload;
+    let len = Bytes.length payload in
+    let crc_ok = Crc32.digest payload ~off:0 ~len = crc_sent in
+    if not crc_ok then t.rx_crc_errors <- t.rx_crc_errors + 1;
+    t.rx_frames <- t.rx_frames + 1;
+    t.rx_handler { ring_addr = slot; len; crc_ok }
+
+let transmit t payload =
+  let len = Bytes.length payload in
+  if len = 0 || len > t.mtu then invalid_arg "Ethernet.transmit: bad length";
+  match t.peer, t.tx_link with
+  | Some peer, Some link ->
+    t.tx_frames <- t.tx_frames + 1;
+    let frame = Bytes.copy payload in
+    let crc_sent = Crc32.digest frame ~off:0 ~len in
+    if t.corrupt_next then begin
+      t.corrupt_next <- false;
+      Bytes.set frame (len / 2)
+        (Char.chr (Char.code (Bytes.get frame (len / 2)) lxor 0x10))
+    end;
+    let costs = Machine.costs t.machine in
+    (* Wire occupancy: preamble + header/CRC framing + padding to the
+       64-byte minimum frame. *)
+    let wire_bytes = max (len + 18) costs.Costs.eth_min_frame + 8 in
+    Link.transmit link ~bytes:wire_bytes (fun () ->
+        deliver peer ~payload:frame ~crc_sent)
+  | _ -> failwith "Ethernet.transmit: not connected"
+
+let release_buffer t ~ring_addr =
+  if not (List.mem ring_addr t.ring_slots) then
+    invalid_arg "Ethernet.release_buffer: not a ring slot";
+  if not (List.mem ring_addr t.outstanding) then
+    invalid_arg "Ethernet.release_buffer: buffer not outstanding";
+  t.outstanding <- List.filter (fun a -> a <> ring_addr) t.outstanding;
+  t.free_ring <- t.free_ring @ [ ring_addr ]
+
+let destripe t rx ~dst =
+  let off = ref 0 in
+  while !off < rx.len do
+    let chunk = min stripe (rx.len - !off) in
+    Machine.copy t.machine ~src:(rx.ring_addr + (2 * !off)) ~dst:(dst + !off)
+      ~len:chunk;
+    off := !off + chunk
+  done
+
+let corrupt_next_frame t = t.corrupt_next <- true
+
+let stats t =
+  {
+    tx_frames = t.tx_frames;
+    rx_frames = t.rx_frames;
+    rx_dropped_no_buffer = t.rx_dropped_no_buffer;
+    rx_crc_errors = t.rx_crc_errors;
+  }
+
+let outstanding_buffers t = List.length t.outstanding

@@ -1,0 +1,57 @@
+(** The 10-Mb/s Lance-style Ethernet model (§IV-A, §V-A1).
+
+    Two properties drive the paper's Ethernet results, both modeled:
+    - the device owns a small ring of kernel receive buffers ("the
+      network buffers available to the device to receive into are
+      limited, and therefore a message must not stay in them very long
+      ... at least one copy is always necessary");
+    - its DMA engine {e stripes} an N-byte packet into a 2N-byte buffer,
+      alternating 16 bytes of data with 16 bytes of padding (§III-C) —
+      so the mandatory copy out of the ring is a de-striping copy, and
+      interface-specific DILP back ends must exist.
+
+    Demultiplexing is done in software (the DPF engine in the kernel),
+    not by the board: every arriving frame is handed to the single
+    driver handler. *)
+
+type t
+
+type rx = {
+  ring_addr : int;   (** Striped landing area in the device ring. *)
+  len : int;         (** Payload length (data bytes, un-striped). *)
+  crc_ok : bool;
+}
+
+type stats = {
+  tx_frames : int;
+  rx_frames : int;
+  rx_dropped_no_buffer : int;
+  rx_crc_errors : int;
+}
+
+val create : Ash_sim.Engine.t -> Ash_sim.Machine.t -> t
+(** Allocates the device's receive ring ([eth_rx_ring_slots] buffers of
+    [2 * eth_mtu] bytes) out of the machine's memory. *)
+
+val connect : t -> t -> unit
+
+val set_rx_handler : t -> (rx -> unit) -> unit
+
+val transmit : t -> Bytes.t -> unit
+(** Send a frame to the peer. Short frames are padded to the 64-byte
+    minimum on the wire (the receiver still sees the true length).
+    Raises [Invalid_argument] if the payload exceeds the MTU. *)
+
+val release_buffer : t -> ring_addr:int -> unit
+(** Return a ring buffer to the device after the driver has copied the
+    packet out. Raises [Invalid_argument] for an address that is not a
+    ring slot or that is not outstanding. *)
+
+val destripe : t -> rx -> dst:int -> unit
+(** The mandatory copy out of the ring: gathers the 16-byte data chunks
+    of a striped packet into a contiguous buffer at [dst], charging the
+    machine through the normal copy-cost model. *)
+
+val corrupt_next_frame : t -> unit
+val stats : t -> stats
+val outstanding_buffers : t -> int

@@ -1,0 +1,25 @@
+module Engine = Ash_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  fixed_ns : int;
+  pkt_occupancy_ns : int;
+  ns_per_byte : float;
+  mutable free_at : Ash_sim.Time.ns;
+}
+
+let create engine ?(pkt_occupancy_ns = 0) ~fixed_ns ~ns_per_byte () =
+  { engine; fixed_ns; pkt_occupancy_ns; ns_per_byte; free_at = 0 }
+
+let transmit t ~bytes deliver =
+  let now = Engine.now t.engine in
+  let start = max now t.free_at in
+  let wire =
+    t.pkt_occupancy_ns
+    + int_of_float (Float.round (float_of_int bytes *. t.ns_per_byte))
+  in
+  t.free_at <- start + wire;
+  let arrival = start + wire + t.fixed_ns in
+  ignore (Engine.schedule_at t.engine ~at:arrival (fun () -> deliver ()))
+
+let busy_until t = t.free_at

@@ -1,0 +1,28 @@
+(** A serializing point-to-point wire.
+
+    Models one direction of a link: frames occupy the wire for
+    [bytes * ns_per_byte] and are delivered [fixed_ns] after their wire
+    time completes (host-interface + switch + DMA overhead). Back-to-back
+    transmissions queue behind each other, which is what bounds train
+    throughput in Fig. 3. *)
+
+type t
+
+val create :
+  Ash_sim.Engine.t ->
+  ?pkt_occupancy_ns:int ->
+  fixed_ns:int ->
+  ns_per_byte:float ->
+  unit ->
+  t
+(** [pkt_occupancy_ns] is a fixed per-frame occupancy (host-interface
+    descriptor handling, cell framing) serialized with the byte time;
+    [fixed_ns] is pipelined latency added after the frame leaves the
+    wire. *)
+
+val transmit : t -> bytes:int -> (unit -> unit) -> unit
+(** [transmit t ~bytes deliver] schedules [deliver] to run when the frame
+    has crossed the wire. *)
+
+val busy_until : t -> Ash_sim.Time.ns
+(** When the wire frees up (for tests and utilization stats). *)

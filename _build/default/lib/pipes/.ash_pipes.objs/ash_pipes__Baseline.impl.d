@@ -1,0 +1,1 @@
+lib/pipes/baseline.ml: Ash_sim Ash_util

@@ -1,0 +1,1 @@
+lib/pipes/baseline.mli: Ash_sim

@@ -1,0 +1,1 @@
+lib/pipes/dilp.ml: Ash_vm Format List Pipe Printf String

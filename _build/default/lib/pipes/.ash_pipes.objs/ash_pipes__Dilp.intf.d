@@ -1,0 +1,1 @@
+lib/pipes/dilp.mli: Ash_sim Ash_vm Pipe

@@ -1,0 +1,1 @@
+lib/pipes/pipe.ml: Ash_vm List

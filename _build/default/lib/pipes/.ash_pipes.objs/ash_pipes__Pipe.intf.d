@@ -1,0 +1,1 @@
+lib/pipes/pipe.mli: Ash_vm

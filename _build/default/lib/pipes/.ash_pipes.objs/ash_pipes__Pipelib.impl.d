@@ -1,0 +1,1 @@
+lib/pipes/pipelib.ml: Ash_vm Pipe Printf

@@ -1,0 +1,1 @@
+lib/pipes/pipelib.mli: Ash_vm Pipe

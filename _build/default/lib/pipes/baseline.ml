@@ -1,0 +1,69 @@
+module Machine = Ash_sim.Machine
+module Checksum = Ash_util.Checksum
+module Bytesx = Ash_util.Bytesx
+
+let copy m ~src ~dst ~len = Machine.copy m ~src ~dst ~len
+
+let cksum16_pass m ~addr ~len =
+  (* Per 16-bit word: load (charged via cache), add, periodic fold. We
+     charge two ALU cycles per word (add + carry handling) plus half a
+     loop-control cycle (unrolled by two words). *)
+  Machine.charge_cycles m 5;
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + Machine.load16 m (addr + !i);
+    Machine.charge_cycles m 2;
+    if !sum > 0xffff_ffff then sum := (!sum land 0xffff_ffff) + 1;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then begin
+    sum := !sum + (Machine.load8 m (addr + len - 1) lsl 8);
+    Machine.charge_cycles m 2
+  end;
+  Checksum.fold16 !sum
+
+let byteswap_pass m ~addr ~len =
+  if len land 3 <> 0 then invalid_arg "Baseline.byteswap_pass";
+  Machine.charge_cycles m 5;
+  let i = ref 0 in
+  while !i < len do
+    let v = Machine.load32 m (addr + !i) in
+    (* The shift/or sequence a compiler emits without a bswap insn. *)
+    Machine.charge_cycles m 9;
+    Machine.store32 m (addr + !i) (Bytesx.bswap32 v);
+    Machine.charge_cycles m 1;
+    i := !i + 4
+  done
+
+let integrated_copy_cksum m ~src ~dst ~len =
+  if len land 3 <> 0 then invalid_arg "Baseline.integrated_copy_cksum";
+  Machine.charge_cycles m 5;
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i < len do
+    let v = Machine.load32 m (src + !i) in
+    (* Add-with-carry accumulation: 2 cycles. Loop control unrolled by
+       four: 1 cycle per word. *)
+    Machine.charge_cycles m 3;
+    sum := !sum + v;
+    if !sum > 0xffff_ffff then sum := (!sum land 0xffff_ffff) + 1;
+    Machine.store32 m (dst + !i) v;
+    i := !i + 4
+  done;
+  Checksum.fold32_to16 !sum
+
+let integrated_copy_cksum_bswap m ~src ~dst ~len =
+  if len land 3 <> 0 then invalid_arg "Baseline.integrated_copy_cksum_bswap";
+  Machine.charge_cycles m 5;
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i < len do
+    let v = Machine.load32 m (src + !i) in
+    Machine.charge_cycles m 12; (* cksum (2) + bswap sequence (9) + loop (1) *)
+    sum := !sum + v;
+    if !sum > 0xffff_ffff then sum := (!sum land 0xffff_ffff) + 1;
+    Machine.store32 m (dst + !i) (Bytesx.bswap32 v);
+    i := !i + 4
+  done;
+  Checksum.fold32_to16 !sum

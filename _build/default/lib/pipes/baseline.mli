@@ -1,0 +1,34 @@
+(** Hand-written data-manipulation baselines.
+
+    These model the non-ASH strategies the paper measures against
+    (Tables III and IV): nonintegrated ("separate") passes written the
+    way a conventional protocol stack performs them, and the
+    hand-integrated C loops. They charge the same simulated machine as
+    the DILP-generated loops, so throughput comparisons are
+    apples-to-apples: the only differences are the number of traversals
+    and the per-word instruction sequences. *)
+
+val copy : Ash_sim.Machine.t -> src:int -> dst:int -> len:int -> unit
+(** One word-at-a-time copy pass (delegates to the trusted copy engine). *)
+
+val cksum16_pass : Ash_sim.Machine.t -> addr:int -> len:int -> int
+(** A separate Internet-checksum pass over a buffer, as a conventional
+    C library writes it: 16-bit loads, add, fold — the reason the paper's
+    separate strategy is slower per word than the integrated
+    add-with-carry idiom. Returns the folded 16-bit sum (not
+    complemented). [len] may be odd (trailing byte zero-padded). *)
+
+val byteswap_pass : Ash_sim.Machine.t -> addr:int -> len:int -> unit
+(** A separate in-place 32-bit byteswap pass. [len] must be a multiple
+    of 4. *)
+
+val integrated_copy_cksum :
+  Ash_sim.Machine.t -> src:int -> dst:int -> len:int -> int
+(** The hand-integrated C loop ("C integrated", Table IV): copy and
+    checksum in one traversal using the 32-bit add-with-carry idiom.
+    Returns the folded 16-bit sum. [len] must be a multiple of 4. *)
+
+val integrated_copy_cksum_bswap :
+  Ash_sim.Machine.t -> src:int -> dst:int -> len:int -> int
+(** Copy + checksum + 32-bit byteswap in one traversal. The checksum is
+    computed over the pre-swap data. Returns the folded 16-bit sum. *)

@@ -1,0 +1,52 @@
+type gauge = G8 | G16 | G32
+
+let gauge_bits = function G8 -> 8 | G16 -> 16 | G32 -> 32
+
+type ctx = {
+  emit : Ash_vm.Isa.insn -> unit;
+  data : Ash_vm.Isa.reg;
+  temp : unit -> Ash_vm.Isa.reg;
+}
+
+type t = {
+  name : string;
+  gauge : gauge;
+  commutative : bool;
+  no_mod : bool;
+  body : ctx -> unit;
+}
+
+let make ~name ?(commutative = false) ?(no_mod = false) ~gauge body =
+  { name; gauge; commutative; no_mod; body }
+
+module Pipelist = struct
+  type pipe = t
+
+  type t = {
+    mutable items : pipe list; (* reversed *)
+    mutable count : int;
+    mutable next_persistent : Ash_vm.Isa.reg;
+    mutable persistent : Ash_vm.Isa.reg list; (* reversed *)
+  }
+
+  let create ?expected:_ () =
+    { items = []; count = 0; next_persistent = 16; persistent = [] }
+
+  let getreg t =
+    if t.next_persistent > 27 then
+      failwith "Pipelist.getreg: out of persistent registers";
+    let r = t.next_persistent in
+    t.next_persistent <- r + 1;
+    t.persistent <- r :: t.persistent;
+    r
+
+  let add t p =
+    let id = t.count in
+    t.items <- p :: t.items;
+    t.count <- id + 1;
+    id
+
+  let pipes t = List.rev t.items
+
+  let persistent_regs t = List.rev t.persistent
+end

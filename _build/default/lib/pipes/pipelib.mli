@@ -1,0 +1,47 @@
+(** The standard pipe library.
+
+    Each constructor mirrors one of the paper's examples: the Internet
+    checksum pipe of Fig. 2, the big/little-endian byteswap pipe of
+    Fig. 1, an XOR stream cipher standing in for the "encryption" pipes
+    the paper mentions, and small utility pipes used by tests. Every
+    constructor that needs persistent state allocates it from the given
+    pipe list and returns the register so the caller can export an
+    initial value and import the result (§II-B). *)
+
+module Pipelist = Pipe.Pipelist
+
+val cksum32 : Pipelist.t -> int * Ash_vm.Isa.reg
+(** The checksum pipe of Fig. 2: 32-bit gauge, commutative, no-mod;
+    accumulates with end-around carry into a persistent register.
+    Returns [(pipe_id, accumulator_register)]. Initialize the register to
+    0 before the transfer; fold the imported 32-bit result with
+    {!Ash_util.Checksum.fold32_to16} afterwards. *)
+
+val cksum16 : Pipelist.t -> int * Ash_vm.Isa.reg
+(** A 16-bit-gauge checksum pipe — the "16-b checksum" of the paper's
+    gauge-conversion example, exercised through the compiler's
+    split/aggregate path. The accumulator needs {!Ash_util.Checksum.fold16}
+    after import. *)
+
+val byteswap32 : Pipelist.t -> int
+(** Swap a 32-bit unit between big and little endian (Fig. 1's
+    [mk_byteswap_pipe]). Transforming, non-commutative. *)
+
+val byteswap16 : Pipelist.t -> int
+(** 16-bit-gauge byteswap. *)
+
+val xor_cipher : Pipelist.t -> int * Ash_vm.Isa.reg
+(** XOR "encryption" with a 32-bit key held in a persistent register.
+    Export the key into the returned register via [init] at execution
+    time. Transforming, commutative. *)
+
+val word_count : Pipelist.t -> int * Ash_vm.Isa.reg
+(** Counts 32-bit units into a persistent register; no-mod. Used by
+    tests to validate traversal counts. *)
+
+val identity : Pipelist.t -> int
+(** A no-op, no-mod pipe (pure copy when compiled alone). *)
+
+val add_const8 : Pipelist.t -> int -> int
+(** Adds a constant to every byte (8-bit gauge, transforming); exists to
+    exercise the G8 conversion path. *)

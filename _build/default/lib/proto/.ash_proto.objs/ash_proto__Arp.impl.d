@@ -1,0 +1,1 @@
+lib/proto/arp.ml: Ash_kern Ash_sim Ash_util Bytes Hashtbl List

@@ -1,0 +1,1 @@
+lib/proto/arp.mli: Ash_kern Bytes

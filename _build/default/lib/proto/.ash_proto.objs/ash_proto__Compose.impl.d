@@ -1,0 +1,1 @@
+lib/proto/compose.ml: Ash_vm List Packet

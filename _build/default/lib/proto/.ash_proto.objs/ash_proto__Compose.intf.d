@@ -1,0 +1,1 @@
+lib/proto/compose.mli: Ash_vm

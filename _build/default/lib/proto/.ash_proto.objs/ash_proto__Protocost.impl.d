@@ -1,0 +1,1 @@
+lib/proto/protocost.ml:

@@ -1,0 +1,1 @@
+lib/proto/tcb.ml: Ash_sim

@@ -1,0 +1,1 @@
+lib/proto/tcb.mli: Ash_sim

@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Ash_kern Ash_pipes Ash_sim Ash_util Ash_vm Bytes Format List Packet Printf Protocost String Tcb Tcp_fastpath

@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Ash_kern Ash_sim

@@ -1,0 +1,1 @@
+lib/proto/tcp_fastpath.ml: Ash_vm Packet Tcb

@@ -1,0 +1,1 @@
+lib/proto/tcp_fastpath.mli: Ash_vm

@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Ash_kern Ash_pipes Ash_sim Ash_util Bytes Packet Printf Protocost String

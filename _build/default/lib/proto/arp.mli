@@ -1,0 +1,50 @@
+(** ARP (RFC 826) over the Ethernet model — one of the user-level
+    protocols the paper's stack provides (§IV-D lists ARP/RARP among the
+    protocols implemented on the raw interface).
+
+    Classic semantics: a resolver broadcasts a who-has request, the
+    owner replies, both sides learn from traffic (a node also learns the
+    sender mapping of any request addressed to it). Unanswered requests
+    retry a few times and then fail. Demultiplexing uses a compiled DPF
+    filter on the ARP hardware-type field, coexisting with the IP
+    filters on the same wire. *)
+
+type t
+
+type stats = {
+  requests_sent : int;
+  replies_sent : int;
+  resolved : int;
+  timeouts : int;
+}
+
+val create : Ash_kern.Kernel.t -> my_ip:int -> my_mac:int -> t
+(** Bind the ARP endpoint on the node's Ethernet. [my_mac] is the low
+    48 bits of the integer. *)
+
+val lookup : t -> ip:int -> int option
+(** Consult the cache only. *)
+
+val resolve : t -> ip:int -> (int option -> unit) -> unit
+(** Resolve an address: immediate callback on a cache hit; otherwise
+    broadcast a request and call back with [Some mac] on reply or [None]
+    after the retries are exhausted. *)
+
+val stats : t -> stats
+
+(** Packet codec, exposed for tests. *)
+module Wire : sig
+  val op_request : int
+  val op_reply : int
+
+  type pkt = {
+    op : int;
+    sender_mac : int;
+    sender_ip : int;
+    target_mac : int;
+    target_ip : int;
+  }
+
+  val write : pkt -> Bytes.t
+  val read : Bytes.t -> (pkt, string) result
+end

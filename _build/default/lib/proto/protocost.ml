@@ -1,0 +1,8 @@
+let udp_send_overhead_ns = 12_000
+let udp_rx_overhead_ns = 8_000
+let tcp_send_overhead_ns = 24_000
+let tcp_rx_overhead_ns = 10_000
+let tcp_header_predict_ns = 9_000
+let tcp_sync_write_return_ns = 35_000
+let cksum_call_overhead_ns = 4_500
+let tcp_cksum_extra_ns = 8_000

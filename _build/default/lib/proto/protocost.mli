@@ -1,0 +1,43 @@
+(** Protocol-library cost constants.
+
+    These model the fixed software costs of the user-level protocol
+    library code paths — buffer allocation, header field initialization,
+    validation — that are not expressed as explicit simulated memory
+    traffic. Calibrated against Table II: UDP adds ~43 us to the raw
+    182-us user-level round trip ("the UDP library allocates send
+    buffers, and initializes IP and UDP fields", §IV-D), and enabling
+    end-to-end checksumming adds ~19 us to a 4-byte UDP round trip. *)
+
+val udp_send_overhead_ns : int
+(** Send-buffer allocation + IP/UDP field initialization: 12 us. *)
+
+val udp_rx_overhead_ns : int
+(** Receive-path validation and demux bookkeeping: 8 us. *)
+
+val tcp_send_overhead_ns : int
+(** Per-segment transmit path: TCB locking, sequence bookkeeping,
+    retransmission-queue insert: 24 us. *)
+
+val tcp_rx_overhead_ns : int
+(** Per-segment receive path excluding header prediction: 10 us. *)
+
+val tcp_header_predict_ns : int
+(** The header-prediction check and segment validation ("checking the
+    validity of the segment received and running header-prediction
+    code", §IV-D): 9 us. *)
+
+val tcp_sync_write_return_ns : int
+(** Returning out of the synchronous [write] and restarting [read]
+    (§IV-D attributes ~140 us of TCP's latency gap over UDP to this and
+    to ack buffering): 35 us per write completion. *)
+
+val cksum_call_overhead_ns : int
+(** Fixed cost of a non-integrated checksum call (function call,
+    pseudo-header setup, buffer walk setup): 4.5 us. The per-byte cost
+    is charged for real through the machine's cache model. *)
+
+val tcp_cksum_extra_ns : int
+(** Extra fixed cost of TCP's (less optimized) checksum path beyond the
+    shared {!cksum_call_overhead_ns}: 8 us per operation. Calibrated
+    from Table II: checksumming costs a 4-byte TCP round trip ~51 us but
+    a UDP one only ~19 us. *)

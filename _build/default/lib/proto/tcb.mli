@@ -1,0 +1,45 @@
+(** The Transmission Control Block layout, shared between the user-level
+    TCP library (OCaml) and the fast-path handler (VM code).
+
+    The TCB lives in application memory so that a downloaded handler can
+    use it directly (§III-A: ASHs execute in the addressing context of
+    their application). Offsets are bytes from the TCB base; all fields
+    are 32-bit words. The [lib_busy] and [behind] words implement the
+    paper's fast-path constraints: "the user-level TCP library is not
+    currently using that Transmission Control Block ... and the TCP
+    library is not behind in processing" (§V-B). *)
+
+val off_state : int          (* 0 *)
+val off_snd_nxt : int        (* 4 *)
+val off_snd_una : int        (* 8 *)
+val off_rcv_nxt : int        (* 12 *)
+val off_rcv_wnd : int        (* 16 *)
+val off_lib_busy : int       (* 20 *)
+val off_behind : int         (* 24 *)
+val off_rcv_buf_addr : int   (* 28 *)
+val off_rcv_buf_size : int   (* 32 *)
+val off_rcv_off : int        (* 36 *)
+val off_local_port : int     (* 40 *)
+val off_remote_port : int    (* 44 *)
+val off_ack_buf_addr : int   (* 48 *)
+val off_fast_data : int      (* 52: data segments fast-pathed (stats) *)
+val off_fast_acks : int      (* 56: pure acks fast-pathed (stats) *)
+val size : int               (* 64 *)
+
+(* State codes (word at [off_state]). *)
+val st_closed : int
+val st_listen : int
+val st_syn_sent : int
+val st_syn_rcvd : int
+val st_established : int
+val st_fin_wait_1 : int
+val st_fin_wait_2 : int
+val st_close_wait : int
+val st_last_ack : int
+val st_time_wait : int
+
+val get : Ash_sim.Memory.t -> base:int -> int -> int
+(** [get mem ~base off] reads the word at [base + off] (no charging:
+    library bookkeeping costs are modeled by {!Protocost} lumps). *)
+
+val set : Ash_sim.Memory.t -> base:int -> int -> int -> unit

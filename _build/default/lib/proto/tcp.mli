@@ -1,0 +1,104 @@
+(** The user-level TCP library (§IV-D).
+
+    "A library-based implementation of RFC 793 ... not fully TCP
+    compliant (it lacks support for fluent internetworking such as fast
+    retransmit, fast recovery, and good buffering strategies)". What is
+    implemented, matching the paper's statements about its TCP:
+
+    - three-way handshake, ESTABLISHED data transfer, FIN teardown;
+    - MSS segmentation and a fixed advertised window (8 KB in the
+      experiments);
+    - synchronous [write] ("write waits for an acknowledgment before
+      returning") with go-back-N timeout retransmission;
+    - header prediction on the receive path;
+    - optional end-to-end payload checksumming, in-place or copying
+      delivery (Table II's configurations);
+    - a common-case fast path that can run as an ASH or as an upcall
+      (Table VI's configurations), falling back to this library when its
+      constraints fail;
+    - acks are piggybacked on data written from inside the reader
+      callback; a pure ack is emitted otherwise (library mode). The
+      ASH/upcall fast path acks data segments immediately.
+
+    The API is continuation-passing because the caller is inside a
+    discrete-event simulation: [write] returns immediately and invokes
+    [on_complete] at the simulated time the synchronous call would have
+    returned. *)
+
+type mode =
+  | Library                       (** Table VI "user-level" columns. *)
+  | Fast_ash of { sandbox : bool }(** Sandboxed / unsafe ASH columns. *)
+  | Fast_upcall                   (** Upcall column. *)
+
+type medium =
+  | Tcp_an2 of { vc : int }  (** VC demux; ports checked in software. *)
+  | Tcp_ethernet             (** Compiled DPF filter on proto + ports. *)
+
+type config = {
+  medium : medium;
+  local_ip : int;
+  local_port : int;
+  remote_ip : int;
+  remote_port : int;
+  mss : int;            (** 3072 on AN2; 536 for the small-MSS run. *)
+  window : int;         (** 8192 in the paper's experiments. *)
+  checksum : bool;
+  in_place : bool;      (** Library-mode delivery without the copy. *)
+  mode : mode;
+  rx_buffers : int;
+  iss : int;            (** Initial send sequence number. *)
+}
+
+val default_config : config
+(** AN2 VC 6, MSS 3072, window 8192, checksumming on, copy-mode,
+    library delivery. Give the two endpoints distinct ports/iss via
+    record update. For [Tcp_ethernet], also lower [mss] to 1460. *)
+
+type t
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;     (** Processed by the library path. *)
+  fast_path_data : int;        (** Data segments the handler consumed. *)
+  fast_path_acks : int;        (** Pure acks the handler consumed. *)
+  fast_path_aborts : int;      (** Handler fell back to the library. *)
+  retransmits : int;
+  bad_checksums : int;
+}
+
+val create : Ash_kern.Kernel.t -> config -> t
+(** Allocates the TCB, receive buffers and ack template; binds the VC
+    with the configured delivery mode; downloads the fast-path handler
+    when the mode calls for one. One connection per VC. *)
+
+val connect : t -> on_connected:(unit -> unit) -> unit
+(** Active open. *)
+
+val listen : t -> unit
+(** Passive open. *)
+
+val established : t -> bool
+
+val write : t -> addr:int -> len:int -> on_complete:(unit -> unit) -> unit
+(** Synchronous send of application memory: segments, transmits within
+    the window, and invokes [on_complete] once everything is
+    acknowledged. Raises [Invalid_argument] if a write is already in
+    flight or the connection is not established. *)
+
+val write_string : t -> string -> on_complete:(unit -> unit) -> unit
+
+val set_reader : t -> (addr:int -> len:int -> unit) -> unit
+(** In-order data delivery. [addr]/[len] are valid for the duration of
+    the callback; data written with {!write} from inside the callback
+    piggybacks the ack. *)
+
+val close : t -> on_closed:(unit -> unit) -> unit
+(** Send FIN; [on_closed] fires when the teardown completes. *)
+
+val state_name : t -> string
+val stats : t -> stats
+
+val rcv_buffer_region : t -> Ash_sim.Memory.region
+(** The connection's receive buffer, exposed for instrumentation and
+    fault-injection tests (e.g. marking it non-resident to force the
+    fast-path handler's involuntary abort, §III-A). *)

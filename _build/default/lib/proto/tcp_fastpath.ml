@@ -1,0 +1,121 @@
+module Isa = Ash_vm.Isa
+module Builder = Ash_vm.Builder
+
+type config = {
+  tcb_addr : int;
+  checksum : bool;
+  dilp_id : int;
+  cksum_acc_reg : Ash_vm.Isa.reg;
+}
+
+(* Frame layout offsets: IP header at 0, TCP header at 20, payload at 40. *)
+let tcp_off = Packet.ip_header_len
+let payload_off = tcp_off + Packet.tcp_header_len
+
+let program cfg =
+  let b = Builder.create ~name:"tcp-fastpath" () in
+  let abort_l = Builder.fresh_label b in
+  let no_una = Builder.fresh_label b in
+  let has_data = Builder.fresh_label b in
+  let tcb = Builder.temp b
+  and v = Builder.temp b
+  and w = Builder.temp b
+  and plen = Builder.temp b
+  and tmp = Builder.temp b
+  and dst = Builder.temp b in
+  let ld_tcb r off = Builder.emit b (Isa.Ld32 (r, tcb, off)) in
+  let st_tcb r off = Builder.emit b (Isa.St32 (r, tcb, off)) in
+  Builder.li b tcb cfg.tcb_addr;
+  (* -- Part one: protocol preamble (§II-A), the fast-path constraints. *)
+  Builder.li b v (payload_off);
+  Builder.bltu b Isa.reg_msg_len v abort_l;
+  ld_tcb v Tcb.off_lib_busy;
+  Builder.bne b v Isa.reg_zero abort_l;
+  ld_tcb v Tcb.off_behind;
+  Builder.bne b v Isa.reg_zero abort_l;
+  ld_tcb v Tcb.off_state;
+  Builder.li b w Tcb.st_established;
+  Builder.bne b v w abort_l;
+  (* Ports: the paper's AN2 TCP demuxes on VC + ports. *)
+  Builder.emit b (Isa.Ld16 (v, Isa.reg_msg_addr, tcp_off + Packet.Tcp.off_src_port));
+  ld_tcb w Tcb.off_remote_port;
+  Builder.bne b v w abort_l;
+  Builder.emit b (Isa.Ld16 (v, Isa.reg_msg_addr, tcp_off + Packet.Tcp.off_dst_port));
+  ld_tcb w Tcb.off_local_port;
+  Builder.bne b v w abort_l;
+  (* Header prediction: plain ACK flags (PSH ignored), expected seq. *)
+  Builder.emit b
+    (Isa.Ld16 (v, Isa.reg_msg_addr, tcp_off + Packet.Tcp.off_dataoff_flags));
+  Builder.emit b (Isa.Andi (v, v, 0xfff7));
+  Builder.li b w 0x5010;
+  Builder.bne b v w abort_l;
+  Builder.emit b (Isa.Ld32 (v, Isa.reg_msg_addr, tcp_off + Packet.Tcp.off_seq));
+  ld_tcb w Tcb.off_rcv_nxt;
+  Builder.bne b v w abort_l;
+  (* Acknowledgment processing: advance snd_una monotonically. *)
+  Builder.emit b (Isa.Ld32 (v, Isa.reg_msg_addr, tcp_off + Packet.Tcp.off_ack));
+  ld_tcb w Tcb.off_snd_nxt;
+  Builder.bltu b w v abort_l; (* acking data we never sent *)
+  ld_tcb w Tcb.off_snd_una;
+  Builder.bgeu b w v no_una;
+  st_tcb v Tcb.off_snd_una;
+  Builder.place b no_una;
+  Builder.emit b (Isa.Addi (plen, Isa.reg_msg_len, -payload_off));
+  Builder.bne b plen Isa.reg_zero has_data;
+  (* Pure acknowledgment: absorbed entirely in the kernel. *)
+  ld_tcb v Tcb.off_fast_acks;
+  Builder.emit b (Isa.Addi (v, v, 1));
+  st_tcb v Tcb.off_fast_acks;
+  Builder.commit b;
+  Builder.place b has_data;
+  (* -- Part two: the data manipulation, via dynamic ILP (§V-B). *)
+  Builder.emit b (Isa.Andi (v, plen, 3));
+  Builder.bne b v Isa.reg_zero abort_l; (* odd tail: library's job *)
+  ld_tcb v Tcb.off_rcv_off;
+  Builder.emit b (Isa.Add (w, v, plen));
+  ld_tcb tmp Tcb.off_rcv_buf_size;
+  Builder.bltu b tmp w abort_l; (* would overrun: library wraps *)
+  ld_tcb dst Tcb.off_rcv_buf_addr;
+  Builder.emit b (Isa.Add (dst, dst, v));
+  if cfg.checksum then Builder.li b cfg.cksum_acc_reg 0;
+  Builder.li b Isa.reg_arg0 cfg.dilp_id;
+  Builder.li b Isa.reg_arg1 payload_off;
+  Builder.emit b (Isa.Mov (Isa.reg_arg2, dst));
+  Builder.emit b (Isa.Mov (Isa.reg_arg3, plen));
+  Builder.call b Isa.K_dilp;
+  Builder.beq b Isa.reg_arg0 Isa.reg_zero abort_l;
+  if cfg.checksum then begin
+    (* Fold the 32-bit one's-complement sum to 16 bits and compare with
+       the segment's end-to-end checksum field. *)
+    Builder.emit b (Isa.Srl (v, cfg.cksum_acc_reg, 16));
+    Builder.emit b (Isa.Andi (w, cfg.cksum_acc_reg, 0xffff));
+    Builder.emit b (Isa.Add (v, v, w));
+    Builder.emit b (Isa.Srl (w, v, 16));
+    Builder.emit b (Isa.Andi (v, v, 0xffff));
+    Builder.emit b (Isa.Add (v, v, w));
+    Builder.emit b
+      (Isa.Ld16 (w, Isa.reg_msg_addr, tcp_off + Packet.Tcp.off_checksum));
+    Builder.bne b v w abort_l
+  end;
+  (* -- Part three: commit code — update the TCB and reply (§II-A). *)
+  ld_tcb v Tcb.off_rcv_nxt;
+  Builder.emit b (Isa.Add (v, v, plen));
+  st_tcb v Tcb.off_rcv_nxt;
+  ld_tcb w Tcb.off_rcv_off;
+  Builder.emit b (Isa.Add (w, w, plen));
+  st_tcb w Tcb.off_rcv_off;
+  ld_tcb w Tcb.off_fast_data;
+  Builder.emit b (Isa.Addi (w, w, 1));
+  st_tcb w Tcb.off_fast_data;
+  (* ACK from the library's pre-built template: patch seq/ack, send. *)
+  ld_tcb tmp Tcb.off_ack_buf_addr;
+  ld_tcb w Tcb.off_snd_nxt;
+  Builder.emit b (Isa.St32 (w, tmp, tcp_off + Packet.Tcp.off_seq));
+  Builder.emit b (Isa.St32 (v, tmp, tcp_off + Packet.Tcp.off_ack));
+  Builder.emit b (Isa.Mov (Isa.reg_arg0, tmp));
+  Builder.li b Isa.reg_arg1 payload_off;
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  Builder.place b abort_l;
+  Builder.abort b;
+  Builder.assemble b

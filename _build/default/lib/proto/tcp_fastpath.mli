@@ -1,0 +1,37 @@
+(** The TCP common-case fast-path handler (§V-B).
+
+    "Our TCP implementation lowers the cost of data transfer by placing
+    the common-case fast path in a handler which can be run either as an
+    ASH or an upcall. This handler employs dynamic ILP to combine the
+    checksum and copy of message data."
+
+    The generated handler runs when all of the paper's constraints hold —
+    the packet is the predicted next in-order segment with plain ACK
+    flags, the library is not using the TCB, and the library is not
+    behind — and otherwise takes the voluntary-abort path so the
+    user-level library handles the segment. On the fast path it:
+
+    - validates ports, flags and sequence number against the TCB;
+    - processes the acknowledgment (advancing [snd_una]);
+    - for data segments, runs the registered DILP transfer to copy the
+      payload into the receive buffer while checksumming it, verifies
+      the checksum against the header field, advances [rcv_nxt] and
+      [rcv_off], and transmits an ACK built from the library's
+      pre-initialized template;
+    - commits, consuming the message.
+
+    The TCB address and DILP handle are baked into the emitted code as
+    immediates — per-connection dynamic code generation, like DPF's
+    constant specialization. *)
+
+type config = {
+  tcb_addr : int;
+  checksum : bool;
+  dilp_id : int;
+  (** Registered handle of the copy(+checksum) transfer to use. *)
+  cksum_acc_reg : Ash_vm.Isa.reg;
+  (** Persistent register holding the checksum accumulator in the
+      compiled pipe list (meaningful when [checksum]). *)
+}
+
+val program : config -> Ash_vm.Program.t

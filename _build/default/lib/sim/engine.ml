@@ -1,0 +1,123 @@
+type event = {
+  time : Time.ns;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+module Heap = struct
+  (* Binary min-heap on (time, seq). *)
+  type t = { mutable arr : event array; mutable len : int }
+
+  let dummy =
+    { time = 0; seq = 0; action = (fun () -> ()); cancelled = true }
+
+  let create () = { arr = Array.make 64 dummy; len = 0 }
+
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && before h.arr.(!i) h.arr.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.arr.(p) in
+      h.arr.(p) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some top ->
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      h.arr.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.len && before h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+end
+
+type t = {
+  heap : Heap.t;
+  mutable clock : Time.ns;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = Heap.create (); clock = 0; next_seq = 0; live = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let e = { time = at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap e;
+  e
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock + delay) action
+
+let cancel t e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e ->
+    if e.cancelled then true
+    else begin
+      t.live <- t.live - 1;
+      t.clock <- e.time;
+      e.action ();
+      true
+    end
+
+let run t = while step t do () done
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | Some e when e.time <= deadline -> if not (step t) then continue := false
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < deadline then t.clock <- deadline
+
+let run_while t pred =
+  let continue = ref true in
+  while !continue && pred () do
+    if not (step t) then continue := false
+  done

@@ -1,0 +1,39 @@
+(** Discrete-event simulation engine.
+
+    A single global virtual clock with a pending-event priority queue.
+    Events scheduled for the same instant fire in scheduling order
+    (FIFO), which keeps experiments deterministic. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event (e.g. an ASH watchdog timer
+    that the handler cleared before expiry). *)
+
+val create : unit -> t
+
+val now : t -> Time.ns
+(** Current virtual time. *)
+
+val schedule : t -> delay:Time.ns -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t + delay]. Negative delays
+    raise [Invalid_argument]. *)
+
+val schedule_at : t -> at:Time.ns -> (unit -> unit) -> event_id
+(** Schedule at an absolute time, which must not be in the past. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val run : t -> unit
+(** Run until the event queue drains. *)
+
+val run_until : t -> Time.ns -> unit
+(** Run events with timestamps [<= deadline]; afterwards [now t] is the
+    deadline if the queue drained early or still has later events. *)
+
+val run_while : t -> (unit -> bool) -> unit
+(** Run events while the predicate holds (checked before each event). *)
+
+val pending : t -> int
+(** Number of scheduled, uncancelled events. *)

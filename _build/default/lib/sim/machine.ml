@@ -1,0 +1,92 @@
+type t = {
+  costs : Costs.t;
+  mem : Memory.t;
+  cache : Cache.t;
+  mutable meter_cycles : int;
+  mutable meter_ns : Time.ns;
+  mutable total_cycles : int;
+}
+
+let create costs =
+  {
+    costs;
+    mem = Memory.create ();
+    cache = Cache.create costs;
+    meter_cycles = 0;
+    meter_ns = 0;
+    total_cycles = 0;
+  }
+
+let costs t = t.costs
+let mem t = t.mem
+let cache t = t.cache
+
+let charge_cycles t c =
+  t.meter_cycles <- t.meter_cycles + c;
+  t.total_cycles <- t.total_cycles + c
+
+let charge_ns t ns = t.meter_ns <- t.meter_ns + ns
+
+let take_ns t =
+  let ns = t.meter_ns + Costs.cycles_to_ns t.costs t.meter_cycles in
+  t.meter_cycles <- 0;
+  t.meter_ns <- 0;
+  ns
+
+let consumed_cycles t = t.total_cycles
+
+let load_cost t addr size =
+  t.costs.insn_cycles + Cache.load t.cache ~addr ~size
+
+let store_cost t addr size =
+  t.costs.insn_cycles + Cache.store t.cache ~addr ~size
+
+let load8 t addr =
+  charge_cycles t (load_cost t addr 1);
+  Memory.load8 t.mem addr
+
+let load16 t addr =
+  charge_cycles t (load_cost t addr 2);
+  Memory.load16 t.mem addr
+
+let load32 t addr =
+  charge_cycles t (load_cost t addr 4);
+  Memory.load32 t.mem addr
+
+let store8 t addr v =
+  charge_cycles t (store_cost t addr 1);
+  Memory.store8 t.mem addr v
+
+let store16 t addr v =
+  charge_cycles t (store_cost t addr 2);
+  Memory.store16 t.mem addr v
+
+let store32 t addr v =
+  charge_cycles t (store_cost t addr 4);
+  Memory.store32 t.mem addr v
+
+let copy t ~src ~dst ~len =
+  if len < 0 then invalid_arg "Machine.copy";
+  charge_cycles t (5 * t.costs.insn_cycles); (* setup *)
+  let words = len / 4 in
+  let i = ref 0 in
+  while !i < words do
+    (* Unrolled by four: one loop-control instruction per group. *)
+    let group = min 4 (words - !i) in
+    for k = 0 to group - 1 do
+      let o = (!i + k) * 4 in
+      let v = load32 t (src + o) in
+      store32 t (dst + o) v
+    done;
+    charge_cycles t t.costs.insn_cycles;
+    i := !i + group
+  done;
+  for o = words * 4 to len - 1 do
+    let v = load8 t (src + o) in
+    store8 t (dst + o) v;
+    charge_cycles t t.costs.insn_cycles
+  done
+
+let flush_cache t = Cache.flush_all t.cache
+let flush_range t ~addr ~len = Cache.flush_range t.cache ~addr ~len
+let warm_range t ~addr ~len = Cache.warm_range t.cache ~addr ~len

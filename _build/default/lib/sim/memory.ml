@@ -1,0 +1,131 @@
+type region = {
+  base : int;
+  len : int;
+  data : Bytes.t;
+  name : string;
+  mutable resident : bool;
+}
+
+exception Fault of { addr : int; size : int; reason : string }
+
+type t = {
+  mutable regions : region array; (* sorted by base *)
+  mutable count : int;
+  mutable brk : int;
+  mutable last : region option;   (* memoize the last hit *)
+}
+
+let guard_gap = 256
+let alignment = 16
+
+let create () =
+  { regions = Array.make 16 { base = 0; len = 0; data = Bytes.empty;
+                              name = ""; resident = false };
+    count = 0;
+    brk = 0x1000;
+    last = None }
+
+let alloc t ?(name = "region") ?(resident = true) len =
+  if len <= 0 then invalid_arg "Memory.alloc: non-positive length";
+  let base = (t.brk + alignment - 1) / alignment * alignment in
+  let r = { base; len; data = Bytes.make len '\000'; name; resident } in
+  t.brk <- base + len + guard_gap;
+  if t.count = Array.length t.regions then begin
+    let bigger = Array.make (2 * t.count) r in
+    Array.blit t.regions 0 bigger 0 t.count;
+    t.regions <- bigger
+  end;
+  t.regions.(t.count) <- r;
+  t.count <- t.count + 1;
+  r
+
+let set_resident r v = r.resident <- v
+
+let find t ~addr ~size =
+  let inside r = addr >= r.base && addr + size <= r.base + r.len in
+  match t.last with
+  | Some r when inside r -> Some r
+  | _ ->
+    (* Binary search for the last region with base <= addr. *)
+    let lo = ref 0 and hi = ref (t.count - 1) and found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let r = t.regions.(mid) in
+      if r.base <= addr then begin
+        if inside r then begin
+          found := Some r;
+          lo := !hi + 1
+        end
+        else lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    (match !found with Some r -> t.last <- Some r | None -> ());
+    !found
+
+let locate t addr size =
+  match find t ~addr ~size with
+  | None -> raise (Fault { addr; size; reason = "unmapped" })
+  | Some r when not r.resident ->
+    raise (Fault { addr; size; reason = "non-resident page" })
+  | Some r -> (r.data, addr - r.base)
+
+let load8 t addr =
+  let data, off = locate t addr 1 in
+  Char.code (Bytes.get data off)
+
+let load16 t addr =
+  let data, off = locate t addr 2 in
+  Ash_util.Bytesx.get_u16 data off
+
+let load32 t addr =
+  let data, off = locate t addr 4 in
+  Ash_util.Bytesx.get_u32 data off
+
+let store8 t addr v =
+  let data, off = locate t addr 1 in
+  Bytes.set data off (Char.chr (v land 0xff))
+
+let store16 t addr v =
+  let data, off = locate t addr 2 in
+  Ash_util.Bytesx.set_u16 data off (v land 0xffff)
+
+let store32 t addr v =
+  let data, off = locate t addr 4 in
+  Ash_util.Bytesx.set_u32 data off (v land 0xffff_ffff)
+
+let blit_from_bytes t ~src ~src_off ~dst ~len =
+  if len = 0 then ()
+  else begin
+    let data, off = locate t dst len in
+    Bytes.blit src src_off data off len
+  end
+
+let blit_to_bytes t ~src ~dst ~dst_off ~len =
+  if len = 0 then ()
+  else begin
+    let data, off = locate t src len in
+    Bytes.blit data off dst dst_off len
+  end
+
+let blit t ~src ~dst ~len =
+  if len = 0 then ()
+  else begin
+    let sdata, soff = locate t src len in
+    let ddata, doff = locate t dst len in
+    Bytes.blit sdata soff ddata doff len
+  end
+
+let fill t ~addr ~len c =
+  if len = 0 then ()
+  else begin
+    let data, off = locate t addr len in
+    Bytes.fill data off len c
+  end
+
+let read_string t ~addr ~len =
+  if len = 0 then ""
+  else begin
+    let data, off = locate t addr len in
+    Bytes.sub_string data off len
+  end

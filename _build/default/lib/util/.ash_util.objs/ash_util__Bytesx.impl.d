@@ -1,0 +1,1 @@
+lib/util/bytesx.ml: Buffer Bytes Char Printf

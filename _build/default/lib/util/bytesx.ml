@@ -1,0 +1,98 @@
+let check b off len name =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg name
+
+let get_u8 b off =
+  check b off 1 "Bytesx.get_u8";
+  Char.code (Bytes.get b off)
+
+let set_u8 b off v =
+  check b off 1 "Bytesx.set_u8";
+  Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off =
+  check b off 2 "Bytesx.get_u16";
+  (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set_u16 b off v =
+  check b off 2 "Bytesx.set_u16";
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let get_u32 b off =
+  check b off 4 "Bytesx.get_u32";
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let set_u32 b off v =
+  check b off 4 "Bytesx.set_u32";
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u16_le b off =
+  check b off 2 "Bytesx.get_u16_le";
+  Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16_le b off v =
+  check b off 2 "Bytesx.set_u16_le";
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u32_le b off =
+  check b off 4 "Bytesx.get_u32_le";
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set_u32_le b off v =
+  check b off 4 "Bytesx.set_u32_le";
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let bswap16 v = ((v land 0xff) lsl 8) lor ((v lsr 8) land 0xff)
+
+let bswap32 v =
+  ((v land 0xff) lsl 24)
+  lor ((v land 0xff00) lsl 8)
+  lor ((v lsr 8) land 0xff00)
+  lor ((v lsr 24) land 0xff)
+
+let hexdump ?(width = 16) b =
+  let buf = Buffer.create (Bytes.length b * 4) in
+  let len = Bytes.length b in
+  let lines = (len + width - 1) / width in
+  for line = 0 to lines - 1 do
+    let off = line * width in
+    Buffer.add_string buf (Printf.sprintf "%08x  " off);
+    for i = 0 to width - 1 do
+      if off + i < len then
+        Buffer.add_string buf
+          (Printf.sprintf "%02x " (Char.code (Bytes.get b (off + i))))
+      else Buffer.add_string buf "   ";
+      if i = (width / 2) - 1 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf ' ';
+    for i = 0 to width - 1 do
+      if off + i < len then begin
+        let c = Bytes.get b (off + i) in
+        Buffer.add_char buf (if c >= ' ' && c <= '~' then c else '.')
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let equal_slice a aoff b boff len =
+  check a aoff len "Bytesx.equal_slice";
+  check b boff len "Bytesx.equal_slice";
+  let rec loop i =
+    i >= len
+    || (Bytes.get a (aoff + i) = Bytes.get b (boff + i) && loop (i + 1))
+  in
+  loop 0

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to model the AN2 board's
+    link-level CRC. The paper's "in place, no checksum" configurations
+    rely on the CRC computed by the AN2 board (§IV-D); our AN2 model
+    stamps and verifies frames with this CRC so those configurations
+    still detect corruption in tests. *)
+
+val digest : Bytes.t -> off:int -> len:int -> int32
+(** CRC-32 of the given slice. Raises [Invalid_argument] on bad bounds. *)
+
+val digest_string : string -> int32

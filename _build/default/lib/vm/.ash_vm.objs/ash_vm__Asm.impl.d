@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Array Format Hashtbl Isa List Printf Program String

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Ash_sim Ash_util Bytes Isa List Program

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Ash_sim Bytes Isa Program

@@ -1,0 +1,1 @@
+lib/vm/sandbox.ml: Array Isa List Program

@@ -1,0 +1,1 @@
+lib/vm/verify.mli: Format Isa Program

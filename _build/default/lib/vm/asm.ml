@@ -1,0 +1,263 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Err of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Err (line, m))) fmt
+
+(* A branch target as written: either an absolute instruction index or a
+   symbolic label resolved after the first pass. *)
+type target = T_abs of int | T_label of string
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokenize line s =
+  (* Split an operand list on commas, trimming each piece. *)
+  ignore line;
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun t -> t <> "")
+
+let parse_reg line s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> 'r' then
+    fail line "expected register, got %S" s
+  else
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 && n < Isa.num_regs -> n
+    | Some n -> fail line "register r%d out of range" n
+    | None -> fail line "expected register, got %S" s
+
+let parse_imm line s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected immediate, got %S" s
+
+(* [offset(rN)] *)
+let parse_mem line s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> fail line "expected offset(reg), got %S" s
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      fail line "expected offset(reg), got %S" s
+    else begin
+      let off = parse_imm line (String.sub s 0 i) in
+      let reg = parse_reg line (String.sub s (i + 1) (String.length s - i - 2)) in
+      (off, reg)
+    end
+
+let parse_target line s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '@' then
+    fail line "expected @target, got %S" s
+  else begin
+    let body = String.sub s 1 (String.length s - 1) in
+    match int_of_string_opt body with
+    | Some n -> T_abs n
+    | None -> T_label body
+  end
+
+let kcall_of_name line = function
+  | "msg_read8" -> Isa.K_msg_read8
+  | "msg_read16" -> Isa.K_msg_read16
+  | "msg_read32" -> Isa.K_msg_read32
+  | "msg_write32" -> Isa.K_msg_write32
+  | "copy" -> Isa.K_copy
+  | "dilp" -> Isa.K_dilp
+  | "send" -> Isa.K_send
+  | "msg_len" -> Isa.K_msg_len
+  | other -> fail line "unknown kernel call %S" other
+
+(* Partially parsed instruction: branches carry unresolved targets. *)
+type slot = Plain of Isa.insn | Branch of (int -> Isa.insn) * target * int
+
+let parse_insn lineno mnemonic operands =
+  let ops n =
+    if List.length operands <> n then
+      fail lineno "%s expects %d operand(s), got %d" mnemonic n
+        (List.length operands)
+  in
+  let reg i = parse_reg lineno (List.nth operands i) in
+  let imm i = parse_imm lineno (List.nth operands i) in
+  let mem i = parse_mem lineno (List.nth operands i) in
+  let tgt i = parse_target lineno (List.nth operands i) in
+  let rrr mk =
+    ops 3;
+    Plain (mk (reg 0) (reg 1) (reg 2))
+  in
+  let rri mk =
+    ops 3;
+    Plain (mk (reg 0) (reg 1) (imm 2))
+  in
+  let load mk =
+    ops 2;
+    let off, base = mem 1 in
+    Plain (mk (reg 0) base off)
+  in
+  let branch mk =
+    ops 3;
+    Branch ((fun t -> mk (reg 0) (reg 1) t), tgt 2, lineno)
+  in
+  match mnemonic with
+  | "li" ->
+    ops 2;
+    Plain (Isa.Li (reg 0, imm 1))
+  | "mov" ->
+    ops 2;
+    Plain (Isa.Mov (reg 0, reg 1))
+  | "add" -> rrr (fun a b c -> Isa.Add (a, b, c))
+  | "addi" -> rri (fun a b c -> Isa.Addi (a, b, c))
+  | "sub" -> rrr (fun a b c -> Isa.Sub (a, b, c))
+  | "mul" -> rrr (fun a b c -> Isa.Mul (a, b, c))
+  | "divu" -> rrr (fun a b c -> Isa.Divu (a, b, c))
+  | "remu" -> rrr (fun a b c -> Isa.Remu (a, b, c))
+  | "and" -> rrr (fun a b c -> Isa.And_ (a, b, c))
+  | "or" -> rrr (fun a b c -> Isa.Or_ (a, b, c))
+  | "xor" -> rrr (fun a b c -> Isa.Xor_ (a, b, c))
+  | "andi" -> rri (fun a b c -> Isa.Andi (a, b, c))
+  | "ori" -> rri (fun a b c -> Isa.Ori (a, b, c))
+  | "xori" -> rri (fun a b c -> Isa.Xori (a, b, c))
+  | "sll" -> rri (fun a b c -> Isa.Sll (a, b, c))
+  | "srl" -> rri (fun a b c -> Isa.Srl (a, b, c))
+  | "sltu" -> rrr (fun a b c -> Isa.Sltu (a, b, c))
+  | "adds" -> rrr (fun a b c -> Isa.Adds (a, b, c))
+  | "fadd" -> rrr (fun a b c -> Isa.Fadd (a, b, c))
+  | "ld8" -> load (fun r b o -> Isa.Ld8 (r, b, o))
+  | "ld16" -> load (fun r b o -> Isa.Ld16 (r, b, o))
+  | "ld32" -> load (fun r b o -> Isa.Ld32 (r, b, o))
+  | "st8" -> load (fun r b o -> Isa.St8 (r, b, o))
+  | "st16" -> load (fun r b o -> Isa.St16 (r, b, o))
+  | "st32" -> load (fun r b o -> Isa.St32 (r, b, o))
+  | "beq" -> branch (fun a b t -> Isa.Beq (a, b, t))
+  | "bne" -> branch (fun a b t -> Isa.Bne (a, b, t))
+  | "bltu" -> branch (fun a b t -> Isa.Bltu (a, b, t))
+  | "bgeu" -> branch (fun a b t -> Isa.Bgeu (a, b, t))
+  | "jmp" ->
+    ops 1;
+    Branch ((fun t -> Isa.Jmp t), tgt 0, lineno)
+  | "jr" ->
+    ops 1;
+    Plain (Isa.Jr (reg 0))
+  | "call" ->
+    ops 1;
+    Plain (Isa.Call (kcall_of_name lineno (String.trim (List.nth operands 0))))
+  | "cksum32" ->
+    ops 2;
+    Plain (Isa.Cksum32 (reg 0, reg 1))
+  | "bswap16" ->
+    ops 2;
+    Plain (Isa.Bswap16 (reg 0, reg 1))
+  | "bswap32" ->
+    ops 2;
+    Plain (Isa.Bswap32 (reg 0, reg 1))
+  | "commit" ->
+    ops 0;
+    Plain Isa.Commit
+  | "abort" ->
+    ops 0;
+    Plain Isa.Abort
+  | "halt" ->
+    ops 0;
+    Plain Isa.Halt
+  | other -> fail lineno "unknown mnemonic %S" other
+
+let is_label_def s =
+  String.length s > 1 && s.[String.length s - 1] = ':'
+
+let valid_label s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+          (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9')
+          || c = '_' || c = '.')
+       s
+
+let parse ?(name = "asm") source =
+  try
+    let labels = Hashtbl.create 8 in
+    let slots = ref [] in
+    let count = ref 0 in
+    let lines = String.split_on_char '\n' source in
+    List.iteri
+      (fun i raw ->
+         let lineno = i + 1 in
+         let s = String.trim (strip_comment raw) in
+         (* A disassembly listing prefixes "NNN:" indices; accept and
+            treat them as (redundant) numeric labels. *)
+         let s =
+           match String.index_opt s ':' with
+           | Some ci
+             when ci < String.length s - 1
+                  &&
+                  let prefix = String.trim (String.sub s 0 ci) in
+                  prefix <> "" && int_of_string_opt prefix <> None ->
+             String.trim (String.sub s (ci + 1) (String.length s - ci - 1))
+           | _ -> s
+         in
+         let s, had_label =
+           if is_label_def s then ("", Some (String.sub s 0 (String.length s - 1)))
+           else begin
+             match String.index_opt s ':' with
+             | Some ci
+               when (not (String.contains s ' '))
+                    || ci < (try String.index s ' ' with Not_found -> max_int)
+               ->
+               ( String.trim (String.sub s (ci + 1) (String.length s - ci - 1)),
+                 Some (String.trim (String.sub s 0 ci)) )
+             | _ -> (s, None)
+           end
+         in
+         (match had_label with
+          | Some l ->
+            if not (valid_label l) then fail lineno "bad label %S" l;
+            if Hashtbl.mem labels l then fail lineno "duplicate label %S" l;
+            Hashtbl.add labels l !count
+          | None -> ());
+         if s <> "" then begin
+           let mnemonic, rest =
+             match String.index_opt s ' ' with
+             | Some sp ->
+               ( String.sub s 0 sp,
+                 String.sub s (sp + 1) (String.length s - sp - 1) )
+             | None -> (s, "")
+           in
+           let operands = tokenize lineno rest in
+           slots := parse_insn lineno (String.lowercase_ascii mnemonic) operands
+                    :: !slots;
+           incr count
+         end)
+      lines;
+    let slots = Array.of_list (List.rev !slots) in
+    if Array.length slots = 0 then raise (Err (0, "empty program"));
+    let resolve lineno = function
+      | T_abs n ->
+        if n < 0 || n >= Array.length slots then
+          fail lineno "branch target @%d outside program" n
+        else n
+      | T_label l -> (
+          match Hashtbl.find_opt labels l with
+          | Some pc -> pc
+          | None -> fail lineno "undefined label %S" l)
+    in
+    let code =
+      Array.map
+        (function
+          | Plain insn -> insn
+          | Branch (mk, t, lineno) -> mk (resolve lineno t))
+        slots
+    in
+    Ok (Program.make ~name code)
+  with
+  | Err (line, message) -> Error { line; message }
+  | Invalid_argument m -> Error { line = 0; message = m }
+
+let roundtrip p =
+  parse ~name:p.Program.name (Format.asprintf "%a" Program.pp p)

@@ -1,0 +1,35 @@
+(** Textual assembler for the handler ISA.
+
+    The paper's workflow hands routines "in the form of machine code" to
+    the ASH system; this module is the textual front door: parse the
+    same syntax the disassembler ({!Program.pp}) prints, so programs
+    round-trip, and hand-written handler files can be assembled,
+    verified and downloaded (see [ashbench assemble]).
+
+    Syntax, one instruction per line:
+    {v
+      ; comment
+      start:              ; optional label
+        li    r5, 42
+        ld32  r6, 4(r28)
+        bne   r5, r6, @start     ; label reference
+        beq   r5, r6, @7         ; or absolute instruction index
+        call  send
+        commit
+    v}
+
+    Register operands are [r0]-[r31]; immediates are decimal or [0x]
+    hex, optionally negative; memory operands are [offset(rN)]; branch
+    targets are [@name] or [@index]. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : ?name:string -> string -> (Program.t, error) result
+(** Assemble a source string. The resulting program is not yet verified
+    (pass it to {!Verify.check} / {!Sandbox.apply} as usual). *)
+
+val roundtrip : Program.t -> (Program.t, error) result
+(** [parse (print p)] — used by tests to pin the two directions
+    together. *)

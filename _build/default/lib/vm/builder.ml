@@ -1,0 +1,98 @@
+type label = int
+
+type pending =
+  | Fixed of Isa.insn
+  | Branch of (int -> Isa.insn) * label (* builder of the final insn *)
+
+type t = {
+  name : string;
+  mutable code : pending list; (* reversed *)
+  mutable count : int;
+  mutable next_temp : Isa.reg;
+  mutable next_persistent : Isa.reg;
+  mutable next_label : label;
+  labels : (label, int) Hashtbl.t;
+}
+
+let create ?(name = "handler") () =
+  {
+    name;
+    code = [];
+    count = 0;
+    (* r1-r4 are the kernel-call argument registers; hand out scratch
+       registers from r5 so handlers can freely mix [call] with temps. *)
+    next_temp = 5;
+    next_persistent = 16;
+    next_label = 0;
+    labels = Hashtbl.create 8;
+  }
+
+let temp b =
+  if b.next_temp > 15 then failwith "Builder.temp: out of temporary registers";
+  let r = b.next_temp in
+  b.next_temp <- r + 1;
+  r
+
+let persistent b =
+  if b.next_persistent > 27 then
+    failwith "Builder.persistent: out of persistent registers";
+  let r = b.next_persistent in
+  b.next_persistent <- r + 1;
+  r
+
+let fresh_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let place b l =
+  if Hashtbl.mem b.labels l then failwith "Builder.place: label placed twice";
+  Hashtbl.add b.labels l b.count
+
+let here b =
+  let l = fresh_label b in
+  place b l;
+  l
+
+let push b p =
+  b.code <- p :: b.code;
+  b.count <- b.count + 1
+
+let emit b insn =
+  (match Isa.branch_target insn with
+   | Some _ -> invalid_arg "Builder.emit: use the branch helpers for branches"
+   | None -> ());
+  push b (Fixed insn)
+
+let beq b x y l = push b (Branch ((fun t -> Isa.Beq (x, y, t)), l))
+let bne b x y l = push b (Branch ((fun t -> Isa.Bne (x, y, t)), l))
+let bltu b x y l = push b (Branch ((fun t -> Isa.Bltu (x, y, t)), l))
+let bgeu b x y l = push b (Branch ((fun t -> Isa.Bgeu (x, y, t)), l))
+let jmp b l = push b (Branch ((fun t -> Isa.Jmp t), l))
+
+let li b r v = emit b (Isa.Li (r, v))
+let commit b = emit b Isa.Commit
+let abort b = emit b Isa.Abort
+let halt b = emit b Isa.Halt
+let call b k = emit b (Isa.Call k)
+
+let size b = b.count
+
+let assemble b =
+  let pendings = Array.of_list (List.rev b.code) in
+  let resolve l =
+    match Hashtbl.find_opt b.labels l with
+    | Some pc -> pc
+    | None -> failwith "Builder.assemble: unplaced label"
+  in
+  let code =
+    Array.map
+      (function
+        | Fixed insn -> insn
+        | Branch (mk, l) -> mk (resolve l))
+      pendings
+  in
+  if Array.length code = 0 then failwith "Builder.assemble: empty program";
+  if not (Isa.is_terminator code.(Array.length code - 1)) then
+    failwith "Builder.assemble: program can fall off the end";
+  Program.make ~name:b.name code

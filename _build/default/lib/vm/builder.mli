@@ -1,0 +1,64 @@
+(** Handler construction DSL — the programmer-facing face of VCODE.
+
+    Mirrors how the paper's Fig. 2 code is written: imperative emission of
+    RISC instructions with symbolic labels, plus register allocation in
+    two classes ("temporary" scratch registers and "persistent" registers
+    preserved across pipe invocations, §II-B).
+
+    Typical use:
+    {[
+      let b = Builder.create ~name:"remote-increment" () in
+      let v = Builder.temp b in
+      Builder.(emit b (Ld32 (v, Isa.reg_msg_addr, 4)));
+      ...
+      let program = Builder.assemble b
+    ]} *)
+
+type t
+
+type label
+
+val create : ?name:string -> unit -> t
+
+val temp : t -> Isa.reg
+(** Allocate a fresh temporary register. Raises [Failure] when the
+    class (r1-r15, minus the four kernel-call argument registers that
+    [kcall_args] reserves on demand) is exhausted. *)
+
+val persistent : t -> Isa.reg
+(** Allocate a fresh persistent register (r16-r27). *)
+
+val fresh_label : t -> label
+(** A label to be placed later with [place]. *)
+
+val place : t -> label -> unit
+(** Bind the label to the next emitted instruction. A label may be placed
+    only once. *)
+
+val here : t -> label
+(** [fresh_label] + [place] in one step. *)
+
+val emit : t -> Isa.insn -> unit
+(** Emit a non-branching instruction. Branch instructions must be emitted
+    with the [b*]/[jmp] helpers so their targets are labels. *)
+
+val beq : t -> Isa.reg -> Isa.reg -> label -> unit
+val bne : t -> Isa.reg -> Isa.reg -> label -> unit
+val bltu : t -> Isa.reg -> Isa.reg -> label -> unit
+val bgeu : t -> Isa.reg -> Isa.reg -> label -> unit
+val jmp : t -> label -> unit
+
+val li : t -> Isa.reg -> int -> unit
+val commit : t -> unit
+val abort : t -> unit
+val halt : t -> unit
+
+val call : t -> Isa.kcall -> unit
+
+val size : t -> int
+(** Instructions emitted so far. *)
+
+val assemble : t -> Program.t
+(** Resolve labels and produce the program. Raises [Failure] if a used
+    label was never placed, or if the program can fall off the end
+    (the last instruction must be a terminator). *)

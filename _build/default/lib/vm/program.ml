@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  code : Isa.insn array;
+  jump_map : int array option;
+}
+
+let make ~name code =
+  if Array.length code = 0 then invalid_arg "Program.make: empty program";
+  { name; code; jump_map = None }
+
+let length t = Array.length t.code
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>; program %s (%d instructions)@," t.name
+    (Array.length t.code);
+  Array.iteri
+    (fun i insn -> Format.fprintf ppf "%4d: %a@," i Isa.pp insn)
+    t.code;
+  Format.fprintf ppf "@]"
+
+let static_check_count t =
+  Array.fold_left
+    (fun acc insn -> if Isa.is_sandbox_check insn then acc + 1 else acc)
+    0 t.code

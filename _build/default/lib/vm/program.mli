@@ -1,0 +1,27 @@
+(** Assembled handler programs.
+
+    A program is the unit that is handed to the ASH system: verified,
+    optionally sandboxed, downloaded into the kernel, and invoked on
+    message arrival. *)
+
+type t = {
+  name : string;
+  code : Isa.insn array;
+  jump_map : int array option;
+  (** For sandboxed programs: translation from pre-sandboxing instruction
+      indices to post-sandboxing indices. The paper translates indirect
+      jumps "to code named by the pre-sandboxed address" at runtime
+      (§III-B2); the interpreter uses this table to do so. [None] for
+      unsandboxed programs. *)
+}
+
+val make : name:string -> Isa.insn array -> t
+(** An unsandboxed program. Raises [Invalid_argument] on empty code. *)
+
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with instruction indices. *)
+
+val static_check_count : t -> int
+(** Number of sandbox-inserted check instructions in the program. *)

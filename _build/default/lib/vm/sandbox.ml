@@ -1,0 +1,65 @@
+type stats = { original : int; added : int }
+
+let prologue =
+  (* Segment-register setup of Wahbe-style SFI: load the address-space
+     mask and base into the reserved register. *)
+  [ Isa.Li (31, 0x7fffffff); Isa.Andi (31, 31, 0x7fffffff) ]
+
+let exit_code =
+  (* The "overly general exit code" (§V-D): state save/restore that a
+     smarter sandboxer would specialize away. *)
+  [ Isa.Mov (31, 31); Isa.Mov (31, 31);
+    Isa.Gas_probe; Isa.Gas_probe; Isa.Gas_probe ]
+
+let checks_for (insn : Isa.insn) =
+  match insn with
+  | Ld8 (_, b, o) | St8 (_, b, o) -> [ Isa.Check_addr (b, o, 1) ]
+  | Ld16 (_, b, o) | St16 (_, b, o) -> [ Isa.Check_addr (b, o, 2) ]
+  | Ld32 (_, b, o) | St32 (_, b, o) -> [ Isa.Check_addr (b, o, 4) ]
+  | Divu (_, _, d) | Remu (_, _, d) -> [ Isa.Check_div d ]
+  | Jr r -> [ Isa.Check_jump r ]
+  | Commit | Abort | Halt -> exit_code
+  | _ -> []
+
+let apply ?(gas_checks = false) (p : Program.t) =
+  if p.Program.jump_map <> None then
+    invalid_arg "Sandbox.apply: program is already sandboxed";
+  let code = p.Program.code in
+  let n = Array.length code in
+  (* Which old indices are targets of backward branches? *)
+  let back_target = Array.make n false in
+  Array.iteri
+    (fun i insn ->
+       match Isa.branch_target insn with
+       | Some t when t <= i -> back_target.(t) <- true
+       | Some _ | None -> ())
+    code;
+  let out = ref [] in
+  let out_len = ref 0 in
+  let emit insn =
+    out := insn :: !out;
+    incr out_len
+  in
+  List.iter emit prologue;
+  let new_pos = Array.make n 0 in
+  Array.iteri
+    (fun i insn ->
+       new_pos.(i) <- !out_len;
+       if gas_checks && back_target.(i) then emit Isa.Gas_probe;
+       List.iter emit (checks_for insn);
+       emit insn)
+    code;
+  let rewritten =
+    Array.map
+      (fun insn ->
+         match Isa.branch_target insn with
+         | Some t -> Isa.with_branch_target insn new_pos.(t)
+         | None -> insn)
+      (Array.of_list (List.rev !out))
+  in
+  let sandboxed =
+    { Program.name = p.Program.name ^ "+sfi";
+      code = rewritten;
+      jump_map = Some new_pos }
+  in
+  (sandboxed, { original = n; added = Array.length rewritten - n })

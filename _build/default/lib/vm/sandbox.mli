@@ -1,0 +1,28 @@
+(** The sandboxer: software fault isolation by code rewriting (§III-B2,
+    after Wahbe et al. [54]).
+
+    Given a verified program, produces a new program with:
+    - an address check inserted before every load and store;
+    - a divisor check before every division/remainder;
+    - a jump check before every indirect jump;
+    - optionally, a gas probe at every backward-branch target ("for ASHs
+      that contain loops, software checks at all backward jump locations
+      need to be inserted", §III-B3) — off by default because the
+      prototype, like the paper's, bounds execution with a timer instead;
+    - a fixed entry prologue and, before every exit, the "overly general
+      exit code" the paper blames for a large fraction of the added
+      instructions (§V-D).
+
+    Direct branch targets are remapped to the start of the rewritten
+    instruction's check group; the old-to-new index map is kept in the
+    program so indirect jumps through pre-sandboxing addresses can be
+    translated at runtime, exactly as the paper describes. *)
+
+type stats = {
+  original : int;   (** Instructions before rewriting. *)
+  added : int;      (** Instructions inserted by the sandboxer. *)
+}
+
+val apply : ?gas_checks:bool -> Program.t -> Program.t * stats
+(** Rewrite the program. Raises [Invalid_argument] if the input is
+    already sandboxed (has a jump map). *)

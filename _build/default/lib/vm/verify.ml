@@ -1,0 +1,65 @@
+type error = { at : int; insn : Isa.insn option; reason : string }
+
+let pp_error ppf e =
+  match e.insn with
+  | Some i ->
+    Format.fprintf ppf "at %d (%a): %s" e.at Isa.pp i e.reason
+  | None -> Format.fprintf ppf "at %d: %s" e.at e.reason
+
+let reg_ok r = r >= 0 && r < Isa.num_regs
+
+let regs_of (insn : Isa.insn) =
+  match insn with
+  | Li (d, _) -> [ d ]
+  | Mov (d, s) | Bswap16 (d, s) | Bswap32 (d, s) | Cksum32 (d, s) -> [ d; s ]
+  | Add (d, a, b) | Sub (d, a, b) | Mul (d, a, b) | Divu (d, a, b)
+  | Remu (d, a, b) | And_ (d, a, b) | Or_ (d, a, b) | Xor_ (d, a, b)
+  | Sltu (d, a, b) | Adds (d, a, b) | Fadd (d, a, b) -> [ d; a; b ]
+  | Addi (d, a, _) | Andi (d, a, _) | Ori (d, a, _) | Xori (d, a, _)
+  | Sll (d, a, _) | Srl (d, a, _) -> [ d; a ]
+  | Ld8 (d, b, _) | Ld16 (d, b, _) | Ld32 (d, b, _) -> [ d; b ]
+  | St8 (s, b, _) | St16 (s, b, _) | St32 (s, b, _) -> [ s; b ]
+  | Beq (a, b, _) | Bne (a, b, _) | Bltu (a, b, _) | Bgeu (a, b, _) ->
+    [ a; b ]
+  | Jr r | Check_div r | Check_jump r | Check_addr (r, _, _) -> [ r ]
+  | Jmp _ | Call _ | Commit | Abort | Halt | Gas_probe -> []
+
+let check ?(allowed_calls =
+            Isa.[ K_msg_read8; K_msg_read16; K_msg_read32; K_msg_write32;
+                  K_copy; K_dilp; K_send; K_msg_len ])
+    (p : Program.t) =
+  let len = Array.length p.Program.code in
+  let err at insn reason = Error { at; insn = Some insn; reason } in
+  let rec go i =
+    if i >= len then begin
+      if Isa.is_terminator p.Program.code.(len - 1) then Ok p
+      else
+        Error
+          { at = len - 1;
+            insn = Some p.Program.code.(len - 1);
+            reason = "program can fall off the end" }
+    end
+    else begin
+      let insn = p.Program.code.(i) in
+      match insn with
+      | Isa.Fadd _ -> err i insn "floating-point instructions are disallowed"
+      | Isa.Adds _ ->
+        err i insn "signed (overflow-trapping) arithmetic is disallowed"
+      | Isa.Check_addr _ | Isa.Check_div _ | Isa.Check_jump _
+      | Isa.Gas_probe ->
+        err i insn "sandbox-internal instruction in user code"
+      | Isa.Call k when not (List.mem k allowed_calls) ->
+        err i insn "kernel call not in the allowed set"
+      | _ ->
+        if List.exists (fun r -> not (reg_ok r)) (regs_of insn) then
+          err i insn "register operand out of range"
+        else begin
+          match Isa.branch_target insn with
+          | Some t when t < 0 || t >= len ->
+            err i insn "branch target outside the program"
+          | Some _ | None -> go (i + 1)
+        end
+    end
+  in
+  if len = 0 then Error { at = 0; insn = None; reason = "empty program" }
+  else go 0

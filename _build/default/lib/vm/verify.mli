@@ -1,0 +1,22 @@
+(** Download-time static verification (§III-B1).
+
+    The checks that the paper performs when an ASH is handed to the
+    kernel, before any rewriting:
+    - floating-point instructions are rejected;
+    - trapping signed arithmetic is rejected ("code using them may be
+      disallowed, as is currently done");
+    - all direct branch targets must be inside the program;
+    - the program must not fall off the end;
+    - register operands must be architectural;
+    - kernel calls must be within the caller-supplied allowed set;
+    - user code must not contain sandbox-internal check instructions
+      (those are inserted, never imported). *)
+
+type error = { at : int; insn : Isa.insn option; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check :
+  ?allowed_calls:Isa.kcall list -> Program.t -> (Program.t, error) result
+(** [check p] returns [p] unchanged if it passes. [allowed_calls] defaults
+    to every kernel call. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ash_core Ash_kern Ash_pipes Ash_proto Ash_sim Ash_util Ash_vm Bytes Float List Printf String

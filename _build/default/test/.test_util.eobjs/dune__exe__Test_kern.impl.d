@@ -1,0 +1,1 @@
+test/test_kern.ml: Alcotest Ash_core Ash_kern Ash_nic Ash_pipes Ash_sim Ash_util Ash_vm Bytes Gen List Printf QCheck QCheck_alcotest

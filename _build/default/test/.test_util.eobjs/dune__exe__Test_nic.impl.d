@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Ash_nic Ash_sim Ash_util Bytes Char List Printf String

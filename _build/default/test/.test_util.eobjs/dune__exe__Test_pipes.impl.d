@@ -1,0 +1,1 @@
+test/test_pipes.ml: Alcotest Array Ash_pipes Ash_sim Ash_util Ash_vm Bytes Char Gen Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Ash_core Ash_kern Ash_nic Ash_pipes Ash_proto Ash_sim Ash_util Ash_vm Buffer Bytes Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ash_sim Ash_util Bytes Gen List Printf QCheck QCheck_alcotest String

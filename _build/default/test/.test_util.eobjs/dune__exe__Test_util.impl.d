@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ash_util Bytes Char Gen List Printf QCheck QCheck_alcotest

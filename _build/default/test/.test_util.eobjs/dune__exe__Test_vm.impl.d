@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Ash_sim Ash_vm Bytes Format Gen List Printf QCheck QCheck_alcotest String

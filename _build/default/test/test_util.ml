@@ -1,0 +1,288 @@
+(* Unit and property tests for Ash_util: statistics, Internet checksum,
+   CRC-32, PRNG, byte helpers. *)
+
+module Stats = Ash_util.Stats
+module Checksum = Ash_util.Checksum
+module Crc32 = Ash_util.Crc32
+module Rng = Ash_util.Rng
+module Bytesx = Ash_util.Bytesx
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "singleton" 7.5 (Stats.mean [ 7.5 ])
+
+let test_summary () =
+  let s = Stats.summarize [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check int) "n" 8 s.Stats.n;
+  check_float "mean" 5.0 s.Stats.mean;
+  Alcotest.(check bool) "stddev ~2.14" true
+    (abs_float (s.Stats.stddev -. 2.138) < 0.01);
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 9.0 s.Stats.max
+
+let test_summary_singleton () =
+  let s = Stats.summarize [ 42. ] in
+  check_float "mean" 42. s.Stats.mean;
+  check_float "sd" 0. s.Stats.stddev;
+  check_float "ci" 0. s.Stats.ci95
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_ci_shrinks_with_n () =
+  let mk n = List.init n (fun i -> if i mod 2 = 0 then 1. else 3.) in
+  let s4 = Stats.summarize (mk 4) and s100 = Stats.summarize (mk 100) in
+  Alcotest.(check bool) "more samples, tighter CI" true
+    (s100.Stats.ci95 < s4.Stats.ci95)
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  check_float "p50" 5.0 (Stats.percentile 50. xs);
+  check_float "p100" 10.0 (Stats.percentile 100. xs);
+  check_float "p0" 1.0 (Stats.percentile 0. xs)
+
+(* ------------------------------------------------------------------ *)
+(* Internet checksum                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bytes_of_ints ints =
+  let b = Bytes.create (List.length ints) in
+  List.iteri (fun i v -> Bytes.set b i (Char.chr v)) ints;
+  b
+
+let test_cksum_rfc1071_example () =
+  (* The worked example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7
+     have one's-complement sum ddf2 (before complement). *)
+  let b = bytes_of_ints [ 0x00; 0x01; 0xf2; 0x03; 0xf4; 0xf5; 0xf6; 0xf7 ] in
+  let sum = Checksum.fold16 (Checksum.ones_sum b ~off:0 ~len:8) in
+  Alcotest.(check int) "sum" 0xddf2 sum;
+  Alcotest.(check int) "checksum" (lnot 0xddf2 land 0xffff)
+    (Checksum.checksum b ~off:0 ~len:8)
+
+let test_cksum_zero () =
+  let b = Bytes.make 16 '\000' in
+  Alcotest.(check int) "all-zero sum" 0
+    (Checksum.fold16 (Checksum.ones_sum b ~off:0 ~len:16));
+  Alcotest.(check int) "all-zero checksum" 0xffff
+    (Checksum.checksum b ~off:0 ~len:16)
+
+let test_cksum_odd_length () =
+  let b = bytes_of_ints [ 0xab; 0xcd; 0xef ] in
+  (* abcd + ef00 = 1_9acd -> 9ace after fold *)
+  Alcotest.(check int) "odd" 0x9ace
+    (Checksum.fold16 (Checksum.ones_sum b ~off:0 ~len:3))
+
+let test_cksum_verify_roundtrip () =
+  let rng = Rng.create 7 in
+  for len = 2 to 64 do
+    let b = Bytes.create (len + 2) in
+    Rng.fill_bytes rng b;
+    (* Stick the checksum of bytes [2..] into the first two bytes, then
+       verify over the whole buffer. *)
+    Bytesx.set_u16 b 0 0;
+    let c = Checksum.checksum b ~off:0 ~len:(len + 2) in
+    Bytesx.set_u16 b 0 c;
+    Alcotest.(check bool)
+      (Printf.sprintf "verify len=%d" len)
+      true
+      (Checksum.verify b ~off:0 ~len:(len + 2))
+  done
+
+let test_sum32_matches_ones_sum () =
+  (* For multiple-of-4 buffers, folding the 32-bit end-around-carry sum
+     to 16 bits must agree with the 16-bit one's-complement sum: this is
+     the property that lets the Fig. 2 pipe compute the Internet
+     checksum a word at a time. *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 50 do
+    let words = 1 + Rng.int rng 300 in
+    let b = Bytes.create (words * 4) in
+    Rng.fill_bytes rng b;
+    let via32 =
+      Checksum.fold32_to16 (Checksum.sum32 b ~off:0 ~len:(words * 4))
+    in
+    let via16 = Checksum.fold16 (Checksum.ones_sum b ~off:0 ~len:(words * 4)) in
+    Alcotest.(check int) "32-bit path = 16-bit path" via16 via32
+  done
+
+let test_sum32_rejects_unaligned () =
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Checksum.sum32: len not multiple of 4") (fun () ->
+      ignore (Checksum.sum32 (Bytes.create 6) ~off:0 ~len:6))
+
+let test_incremental_sum () =
+  let b = Bytes.create 32 in
+  Rng.fill_bytes (Rng.create 3) b;
+  let whole = Checksum.ones_sum b ~off:0 ~len:32 in
+  let first = Checksum.ones_sum b ~off:0 ~len:16 in
+  let both = Checksum.ones_sum ~acc:first b ~off:16 ~len:16 in
+  Alcotest.(check int) "incremental = whole"
+    (Checksum.fold16 whole) (Checksum.fold16 both)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_known () =
+  (* Standard test vector: CRC-32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l
+    (Crc32.digest_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest_string "")
+
+let test_crc32_detects_corruption () =
+  let b = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+  let c = Crc32.digest b ~off:0 ~len:(Bytes.length b) in
+  Bytes.set b 7 'X';
+  let c' = Crc32.digest b ~off:0 ~len:(Bytes.length b) in
+  Alcotest.(check bool) "differs" true (c <> c')
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.next parent) in
+  let ys = List.init 20 (fun _ -> Rng.next child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+(* ------------------------------------------------------------------ *)
+(* Bytesx                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_endianness_roundtrip () =
+  let b = Bytes.create 8 in
+  Bytesx.set_u32 b 0 0xdeadbeef;
+  Alcotest.(check int) "be32" 0xdeadbeef (Bytesx.get_u32 b 0);
+  Alcotest.(check int) "be byte order" 0xde (Bytesx.get_u8 b 0);
+  Bytesx.set_u32_le b 4 0xdeadbeef;
+  Alcotest.(check int) "le32" 0xdeadbeef (Bytesx.get_u32_le b 4);
+  Alcotest.(check int) "le byte order" 0xef (Bytesx.get_u8 b 4);
+  Bytesx.set_u16 b 0 0xcafe;
+  Alcotest.(check int) "be16" 0xcafe (Bytesx.get_u16 b 0)
+
+let test_bswap () =
+  Alcotest.(check int) "bswap16" 0x3412 (Bytesx.bswap16 0x1234);
+  Alcotest.(check int) "bswap32" 0x78563412 (Bytesx.bswap32 0x12345678);
+  Alcotest.(check int) "bswap32 involutive" 0x12345678
+    (Bytesx.bswap32 (Bytesx.bswap32 0x12345678))
+
+let test_bounds_checking () =
+  let b = Bytes.create 4 in
+  Alcotest.check_raises "get_u32 off end" (Invalid_argument "Bytesx.get_u32")
+    (fun () -> ignore (Bytesx.get_u32 b 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Bytesx.get_u16")
+    (fun () -> ignore (Bytesx.get_u16 b (-1)))
+
+let test_equal_slice () =
+  let a = Bytes.of_string "hello world" in
+  let b = Bytes.of_string "XXhelloXXXX" in
+  Alcotest.(check bool) "equal" true (Bytesx.equal_slice a 0 b 2 5);
+  Alcotest.(check bool) "not equal" false (Bytesx.equal_slice a 0 b 0 5)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_checksum_detects_single_bit_flip =
+  QCheck.Test.make ~name:"checksum detects any single-bit flip"
+    ~count:200
+    QCheck.(pair (bytes_of_size (Gen.int_range 2 128)) small_nat)
+    (fun (s, pos) ->
+       let b = Bytes.of_string (Bytes.to_string s) in
+       let len = Bytes.length b in
+       QCheck.assume (len >= 2);
+       let pos = pos mod (len * 8) in
+       let before = Checksum.checksum b ~off:0 ~len in
+       let byte = pos / 8 and bit = pos mod 8 in
+       Bytes.set b byte
+         (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+       Checksum.checksum b ~off:0 ~len <> before)
+
+let prop_bswap32_involutive =
+  QCheck.Test.make ~name:"bswap32 is an involution" ~count:500
+    QCheck.(int_bound 0xffffff)
+    (fun v ->
+       let v = v * 131 land 0xffff_ffff in
+       Bytesx.bswap32 (Bytesx.bswap32 v) = v)
+
+let prop_summary_mean_between_min_max =
+  QCheck.Test.make ~name:"summary mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+       let s = Stats.summarize xs in
+       s.Stats.min <= s.Stats.mean +. 1e-9
+       && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let () =
+  Alcotest.run "ash_util"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "singleton" `Quick test_summary_singleton;
+          Alcotest.test_case "empty raises" `Quick test_summary_empty;
+          Alcotest.test_case "ci shrinks with n" `Quick test_ci_shrinks_with_n;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 example" `Quick test_cksum_rfc1071_example;
+          Alcotest.test_case "zero buffer" `Quick test_cksum_zero;
+          Alcotest.test_case "odd length" `Quick test_cksum_odd_length;
+          Alcotest.test_case "verify roundtrip" `Quick
+            test_cksum_verify_roundtrip;
+          Alcotest.test_case "sum32 = ones_sum" `Quick
+            test_sum32_matches_ones_sum;
+          Alcotest.test_case "sum32 unaligned" `Quick
+            test_sum32_rejects_unaligned;
+          Alcotest.test_case "incremental" `Quick test_incremental_sum;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_known;
+          Alcotest.test_case "detects corruption" `Quick
+            test_crc32_detects_corruption;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "bytesx",
+        [
+          Alcotest.test_case "endianness" `Quick test_endianness_roundtrip;
+          Alcotest.test_case "bswap" `Quick test_bswap;
+          Alcotest.test_case "bounds" `Quick test_bounds_checking;
+          Alcotest.test_case "equal_slice" `Quick test_equal_slice;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_checksum_detects_single_bit_flip;
+          QCheck_alcotest.to_alcotest prop_bswap32_involutive;
+          QCheck_alcotest.to_alcotest prop_summary_mean_between_min_max;
+        ] );
+    ]

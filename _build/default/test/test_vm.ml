@@ -1,0 +1,857 @@
+(* Tests for Ash_vm: builder/assembly, verifier rejections, sandboxer
+   rewriting, interpreter semantics, safety enforcement, and kernel
+   calls. *)
+
+module Isa = Ash_vm.Isa
+module Program = Ash_vm.Program
+module Builder = Ash_vm.Builder
+module Verify = Ash_vm.Verify
+module Sandbox = Ash_vm.Sandbox
+module Interp = Ash_vm.Interp
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+
+let costs = Costs.decstation
+
+(* A standard test fixture: a machine with a message buffer and one
+   scratch application buffer. *)
+type fixture = {
+  machine : Machine.t;
+  msg : Memory.region;
+  buf : Memory.region;
+  sent : Bytes.t list ref;
+}
+
+let fixture ?(msg_contents = "") ?(msg_size = 64) () =
+  let machine = Machine.create costs in
+  let mem = Machine.mem machine in
+  let msg = Memory.alloc mem ~name:"msg" msg_size in
+  let buf = Memory.alloc mem ~name:"buf" 4096 in
+  if msg_contents <> "" then
+    Memory.blit_from_bytes mem
+      ~src:(Bytes.of_string msg_contents)
+      ~src_off:0 ~dst:msg.Memory.base
+      ~len:(String.length msg_contents);
+  { machine; msg; buf; sent = ref [] }
+
+let env ?(gas = Interp.default_gas) ?allowed f =
+  let allowed =
+    match allowed with
+    | Some l -> l
+    | None ->
+      Isa.[ K_msg_read8; K_msg_read16; K_msg_read32; K_msg_write32; K_copy;
+            K_dilp; K_send; K_msg_len ]
+  in
+  {
+    Interp.machine = f.machine;
+    msg_addr = f.msg.Memory.base;
+    msg_len = f.msg.Memory.len;
+    allowed_calls = allowed;
+    dilp = (fun ~id:_ ~src:_ ~dst:_ ~len:_ ~regs:_ -> false);
+    send = (fun b -> f.sent := b :: !(f.sent));
+    gas_cycles = gas;
+  }
+
+let run ?gas ?allowed ?regs_init f p =
+  Interp.run (env ?gas ?allowed f) ?regs_init p
+
+let outcome_t =
+  Alcotest.testable
+    (fun ppf -> function
+       | Interp.Committed -> Format.pp_print_string ppf "committed"
+       | Interp.Aborted -> Format.pp_print_string ppf "aborted"
+       | Interp.Returned -> Format.pp_print_string ppf "returned"
+       | Interp.Killed v -> Format.fprintf ppf "killed(%a)" Isa.pp_violation v)
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_basic () =
+  let b = Builder.create ~name:"t" () in
+  Builder.li b 5 42;
+  Builder.halt b;
+  let p = Builder.assemble b in
+  Alcotest.(check int) "two instructions" 2 (Program.length p);
+  Alcotest.(check string) "name" "t" p.Program.name
+
+let test_builder_labels () =
+  let b = Builder.create () in
+  let skip = Builder.fresh_label b in
+  Builder.li b 5 1;
+  Builder.beq b 5 5 skip;
+  Builder.li b 5 99; (* skipped *)
+  Builder.place b skip;
+  Builder.halt b;
+  let p = Builder.assemble b in
+  (match p.Program.code.(1) with
+   | Isa.Beq (_, _, 3) -> ()
+   | i -> Alcotest.failf "bad branch: %s" (Isa.to_string i));
+  let f = fixture () in
+  let r = run f p in
+  Alcotest.(check int) "skipped the overwrite" 1 r.Interp.regs.(5)
+
+let test_builder_unplaced_label () =
+  let b = Builder.create () in
+  let l = Builder.fresh_label b in
+  Builder.jmp b l;
+  match Builder.assemble b with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_builder_fall_off_end () =
+  let b = Builder.create () in
+  Builder.li b 5 1;
+  match Builder.assemble b with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_builder_register_classes () =
+  let b = Builder.create () in
+  let t1 = Builder.temp b and p1 = Builder.persistent b in
+  Alcotest.(check bool) "temp in r5-r15" true (t1 >= 5 && t1 <= 15);
+  Alcotest.(check bool) "persistent in r16-r27" true (p1 >= 16 && p1 <= 27)
+
+let test_builder_rejects_raw_branch () =
+  let b = Builder.create () in
+  Alcotest.check_raises "raw branch"
+    (Invalid_argument "Builder.emit: use the branch helpers for branches")
+    (fun () -> Builder.emit b (Isa.Jmp 0))
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prog insns = Program.make ~name:"test" (Array.of_list insns)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let expect_reject p substr =
+  match Verify.check p with
+  | Ok _ -> Alcotest.failf "expected verifier rejection (%s)" substr
+  | Error e ->
+    let msg = Format.asprintf "%a" Verify.pp_error e in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S contains %S" msg substr)
+      true (contains msg substr)
+
+let test_verify_accepts_good () =
+  let p = prog [ Isa.Li (5, 1); Isa.Add (5, 5, 5); Isa.Halt ] in
+  match Verify.check p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected: %a" Verify.pp_error e
+
+let test_verify_rejects_fp () =
+  expect_reject (prog [ Isa.Fadd (1, 2, 3); Isa.Halt ]) "floating-point"
+
+let test_verify_rejects_signed () =
+  expect_reject (prog [ Isa.Adds (1, 2, 3); Isa.Halt ]) "signed"
+
+let test_verify_rejects_bad_target () =
+  expect_reject (prog [ Isa.Jmp 99; Isa.Halt ]) "branch target";
+  expect_reject (prog [ Isa.Beq (1, 1, -1); Isa.Halt ]) "branch target"
+
+let test_verify_rejects_fall_off () =
+  expect_reject (prog [ Isa.Li (5, 1) ]) "fall off"
+
+let test_verify_rejects_bad_register () =
+  expect_reject (prog [ Isa.Li (32, 1); Isa.Halt ]) "register"
+
+let test_verify_rejects_denied_call () =
+  match Verify.check ~allowed_calls:[ Isa.K_msg_len ]
+          (prog [ Isa.Call Isa.K_send; Isa.Halt ]) with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error _ -> ()
+
+let test_verify_rejects_smuggled_checks () =
+  expect_reject (prog [ Isa.Gas_probe; Isa.Halt ]) "sandbox-internal";
+  expect_reject (prog [ Isa.Check_addr (1, 0, 4); Isa.Halt ]) "sandbox-internal"
+
+(* ------------------------------------------------------------------ *)
+(* Sandbox                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sandbox_adds_checks () =
+  let p =
+    prog [ Isa.Ld32 (5, Isa.reg_msg_addr, 0); Isa.St32 (5, Isa.reg_msg_addr, 4);
+           Isa.Halt ]
+  in
+  let sp, stats = Sandbox.apply p in
+  Alcotest.(check int) "original" 3 stats.Sandbox.original;
+  Alcotest.(check bool) "added > 0" true (stats.Sandbox.added > 0);
+  Alcotest.(check int) "two address checks" 2
+    (Array.to_list sp.Program.code
+     |> List.filter (function Isa.Check_addr _ -> true | _ -> false)
+     |> List.length)
+
+let test_sandbox_remaps_branches () =
+  (* A backward loop: the rewritten branch must still form a loop, and
+     the program must compute the same result. *)
+  let b = Builder.create () in
+  let counter = Builder.temp b and limit = Builder.temp b in
+  Builder.li b counter 0;
+  Builder.li b limit 10;
+  let loop = Builder.here b in
+  Builder.emit b (Isa.Addi (counter, counter, 1));
+  Builder.bltu b counter limit loop;
+  Builder.halt b;
+  let p = Builder.assemble b in
+  let sp, _ = Sandbox.apply p in
+  let f = fixture () in
+  let r_plain = run f p and r_sfi = run f sp in
+  Alcotest.(check int) "plain loops to 10" 10 r_plain.Interp.regs.(5);
+  Alcotest.(check int) "sandboxed loops to 10" 10 r_sfi.Interp.regs.(5);
+  Alcotest.check outcome_t "sandboxed outcome" r_plain.Interp.outcome
+    r_sfi.Interp.outcome
+
+let test_sandbox_gas_probes_at_back_targets () =
+  let b = Builder.create () in
+  let c = Builder.temp b in
+  Builder.li b c 0;
+  let loop = Builder.here b in
+  Builder.emit b (Isa.Addi (c, c, 1));
+  Builder.bne b c c loop;
+  Builder.halt b;
+  let p = Builder.assemble b in
+  let with_gas, _ = Sandbox.apply ~gas_checks:true p in
+  let without, _ = Sandbox.apply ~gas_checks:false p in
+  let count_probes sp =
+    Array.to_list sp.Program.code
+    |> List.filter (function Isa.Gas_probe -> true | _ -> false)
+    |> List.length
+  in
+  Alcotest.(check bool) "gas_checks adds probes" true
+    (count_probes with_gas > count_probes without)
+
+let test_sandbox_double_apply_rejected () =
+  let p = prog [ Isa.Halt ] in
+  let sp, _ = Sandbox.apply p in
+  Alcotest.check_raises "double"
+    (Invalid_argument "Sandbox.apply: program is already sandboxed")
+    (fun () -> ignore (Sandbox.apply sp))
+
+let test_sandbox_overhead_ratio_small_vs_large () =
+  (* §V-D: sandboxing overhead is 1.3-1.4x for 40-byte operations but
+     ~1.01-1.02x for 4096-byte ones, because per-access checks amortize
+     over the (check-free, trusted-engine) bulk data movement. We model
+     the remote write with a short header-parsing preamble plus a
+     trusted-call copy. *)
+  let mk_remote_write len =
+    let b = Builder.create ~name:"remote-write" () in
+    let dst = Builder.temp b in
+    (* Parse a little header: destination pointer at offset 0. *)
+    Builder.emit b (Isa.Ld32 (dst, Isa.reg_msg_addr, 0));
+    Builder.emit b (Isa.Ld32 (Builder.temp b, Isa.reg_msg_addr, 4));
+    Builder.li b Isa.reg_arg0 8;
+    Builder.emit b (Isa.Mov (Isa.reg_arg1, dst));
+    Builder.li b Isa.reg_arg2 len;
+    Builder.call b Isa.K_copy;
+    Builder.commit b;
+    Builder.assemble b
+  in
+  let time_one len sandboxed =
+    let f = fixture ~msg_size:(8 + len) () in
+    let mem = Machine.mem f.machine in
+    Memory.store32 mem f.msg.Memory.base f.buf.Memory.base;
+    let p = mk_remote_write len in
+    let p = if sandboxed then fst (Sandbox.apply p) else p in
+    let r = run f p in
+    Alcotest.check outcome_t "committed" Interp.Committed r.Interp.outcome;
+    r.Interp.cycles
+  in
+  let ratio len =
+    float_of_int (time_one len true) /. float_of_int (time_one len false)
+  in
+  let small = ratio 40 and large = ratio 4096 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small ratio %.2f in [1.1, 1.8]" small)
+    true
+    (small > 1.1 && small < 1.8);
+  Alcotest.(check bool)
+    (Printf.sprintf "large ratio %.3f < 1.05" large)
+    true (large < 1.05)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_alu_ops () =
+  let f = fixture () in
+  let p =
+    prog
+      [
+        Isa.Li (5, 7); Isa.Li (6, 3);
+        Isa.Add (7, 5, 6);        (* 10 *)
+        Isa.Sub (8, 5, 6);        (* 4 *)
+        Isa.Mul (9, 5, 6);        (* 21 *)
+        Isa.Divu (10, 5, 6);      (* 2 *)
+        Isa.Remu (11, 5, 6);      (* 1 *)
+        Isa.And_ (12, 5, 6);      (* 3 *)
+        Isa.Or_ (13, 5, 6);       (* 7 *)
+        Isa.Xor_ (14, 5, 6);      (* 4 *)
+        Isa.Sll (15, 5, 2);       (* 28 *)
+        Isa.Halt;
+      ]
+  in
+  let r = run f p in
+  let regs = r.Interp.regs in
+  Alcotest.(check (list int)) "alu results"
+    [ 10; 4; 21; 2; 1; 3; 7; 4; 28 ]
+    [ regs.(7); regs.(8); regs.(9); regs.(10); regs.(11); regs.(12);
+      regs.(13); regs.(14); regs.(15) ]
+
+let test_wraparound_32bit () =
+  let f = fixture () in
+  let p = prog [ Isa.Li (5, 0xffff_ffff); Isa.Addi (5, 5, 1); Isa.Halt ] in
+  let r = run f p in
+  Alcotest.(check int) "wraps to zero" 0 r.Interp.regs.(5)
+
+let test_r0_is_zero () =
+  let f = fixture () in
+  let p = prog [ Isa.Li (0, 99); Isa.Mov (5, 0); Isa.Halt ] in
+  let r = run f p in
+  Alcotest.(check int) "r0 stays zero" 0 r.Interp.regs.(5)
+
+let test_memory_ops () =
+  let f = fixture ~msg_contents:"\x12\x34\x56\x78" () in
+  let b = Builder.create () in
+  let v = Builder.temp b in
+  Builder.emit b (Isa.Ld32 (v, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.St32 (v, Isa.reg_msg_addr, 4));
+  Builder.emit b (Isa.Ld16 (Builder.temp b, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.Ld8 (Builder.temp b, Isa.reg_msg_addr, 1));
+  Builder.halt b;
+  let r = run f (Builder.assemble b) in
+  Alcotest.(check int) "ld32" 0x12345678 r.Interp.regs.(5);
+  Alcotest.(check int) "ld16" 0x1234 r.Interp.regs.(6);
+  Alcotest.(check int) "ld8" 0x34 r.Interp.regs.(7);
+  Alcotest.(check int) "st32 visible" 0x12345678
+    (Memory.load32 (Machine.mem f.machine) (f.msg.Memory.base + 4))
+
+let test_cksum32_insn () =
+  let f = fixture () in
+  let p =
+    prog
+      [
+        Isa.Li (16, 0);
+        Isa.Li (5, 0xffff_ffff);
+        Isa.Cksum32 (16, 5);
+        Isa.Li (5, 2);
+        Isa.Cksum32 (16, 5);
+        Isa.Halt;
+      ]
+  in
+  let r = run f p in
+  (* 0 + ffffffff = ffffffff; + 2 = 1_00000001 -> 00000002 *)
+  Alcotest.(check int) "end-around carry" 2 r.Interp.regs.(16)
+
+let test_shift_amounts_masked () =
+  let f = fixture () in
+  let p =
+    prog
+      [ Isa.Li (5, 0xf0); Isa.Sll (6, 5, 36); Isa.Srl (7, 5, 36); Isa.Halt ]
+  in
+  (* Shift amounts are masked to 5 bits, like the hardware. *)
+  let r = run f p in
+  Alcotest.(check int) "sll by 36 = sll by 4" (0xf0 lsl 4) r.Interp.regs.(6);
+  Alcotest.(check int) "srl by 36 = srl by 4" (0xf0 lsr 4) r.Interp.regs.(7)
+
+let test_mul_wraps_32bit () =
+  let f = fixture () in
+  let p =
+    prog
+      [ Isa.Li (5, 0x10000); Isa.Mul (6, 5, 5); Isa.Halt ]
+  in
+  let r = run f p in
+  Alcotest.(check int) "0x10000^2 wraps to 0" 0 r.Interp.regs.(6)
+
+let test_sltu_unsigned_compare () =
+  let f = fixture () in
+  let p =
+    prog
+      [
+        Isa.Li (5, 0xffff_ffff); Isa.Li (6, 1);
+        Isa.Sltu (7, 6, 5); (* 1 < 0xffffffff unsigned *)
+        Isa.Sltu (8, 5, 6); (* not the signed interpretation *)
+        Isa.Halt;
+      ]
+  in
+  let r = run f p in
+  Alcotest.(check int) "1 < max" 1 r.Interp.regs.(7);
+  Alcotest.(check int) "max not < 1" 0 r.Interp.regs.(8)
+
+let test_branch_to_self_exhausts_gas_not_stack () =
+  let f = fixture () in
+  let p = prog [ Isa.Beq (0, 0, 0) ] in
+  (* Verifier would require a terminator, but the interpreter must
+     survive such a program anyway. *)
+  let r = run ~gas:2_000 f p in
+  Alcotest.check outcome_t "bounded" (Interp.Killed Isa.Gas_exhausted)
+    r.Interp.outcome
+
+let test_termination_outcomes () =
+  let f = fixture () in
+  let check_outcome insns expected =
+    let r = run f (prog insns) in
+    Alcotest.check outcome_t "outcome" expected r.Interp.outcome
+  in
+  check_outcome [ Isa.Commit ] Interp.Committed;
+  check_outcome [ Isa.Abort ] Interp.Aborted;
+  check_outcome [ Isa.Halt ] Interp.Returned
+
+let test_regs_init_seeding () =
+  let f = fixture () in
+  let p = prog [ Isa.Add (5, 16, 17); Isa.Halt ] in
+  let r = run ~regs_init:[ (16, 30); (17, 12) ] f p in
+  Alcotest.(check int) "persistent export" 42 r.Interp.regs.(5);
+  Alcotest.(check int) "msg addr seeded" f.msg.Memory.base
+    r.Interp.regs.(Isa.reg_msg_addr);
+  Alcotest.(check int) "msg len seeded" f.msg.Memory.len
+    r.Interp.regs.(Isa.reg_msg_len)
+
+(* ------------------------------------------------------------------ *)
+(* Safety enforcement                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_wild_load () =
+  let f = fixture () in
+  let p = prog [ Isa.Li (5, 0); Isa.Ld32 (6, 5, 0); Isa.Halt ] in
+  let r = run f p in
+  Alcotest.check outcome_t "wild load" (Interp.Killed (Isa.Mem_fault 0))
+    r.Interp.outcome
+
+let test_kill_nonresident () =
+  let f = fixture () in
+  Memory.set_resident f.buf false;
+  let p =
+    prog [ Isa.Li (5, f.buf.Memory.base); Isa.Ld32 (6, 5, 0); Isa.Halt ]
+  in
+  let r = run f p in
+  (match r.Interp.outcome with
+   | Interp.Killed (Isa.Mem_fault _) -> ()
+   | _ -> Alcotest.fail "expected kill on non-resident page")
+
+let test_kill_div_zero () =
+  let f = fixture () in
+  let p = prog [ Isa.Li (5, 1); Isa.Li (6, 0); Isa.Divu (7, 5, 6); Isa.Halt ] in
+  let r = run f p in
+  Alcotest.check outcome_t "div zero" (Interp.Killed Isa.Div_by_zero)
+    r.Interp.outcome
+
+let test_kill_gas_exhausted () =
+  let f = fixture () in
+  let b = Builder.create () in
+  let loop = Builder.here b in
+  Builder.jmp b loop;
+  Builder.halt b;
+  let r = run ~gas:1000 f (Builder.assemble b) in
+  Alcotest.check outcome_t "infinite loop killed"
+    (Interp.Killed Isa.Gas_exhausted) r.Interp.outcome
+
+let test_gas_budget_allows_4k_work () =
+  (* §III-B3: the budget must be big enough to copy and checksum a
+     4-kbyte message. *)
+  let f = fixture ~msg_size:4096 () in
+  let b = Builder.create () in
+  Builder.li b Isa.reg_arg0 0;
+  Builder.li b Isa.reg_arg1 f.buf.Memory.base;
+  Builder.li b Isa.reg_arg2 4096;
+  Builder.call b Isa.K_copy;
+  Builder.commit b;
+  let r = run f (Builder.assemble b) in
+  Alcotest.check outcome_t "4k copy fits budget" Interp.Committed
+    r.Interp.outcome
+
+let test_kill_wild_indirect_jump () =
+  let f = fixture () in
+  let p = prog [ Isa.Li (5, 12345); Isa.Jr 5; Isa.Halt ] in
+  let r = run f p in
+  Alcotest.check outcome_t "wild jr" (Interp.Killed (Isa.Wild_jump 12345))
+    r.Interp.outcome
+
+let test_indirect_jump_translated_after_sandbox () =
+  (* jr through a pre-sandboxing address must be translated and work. *)
+  let p =
+    prog
+      [
+        Isa.Li (5, 3);          (* old index of the Li (6, 7) below *)
+        Isa.Jr 5;
+        Isa.Halt;               (* skipped *)
+        Isa.Li (6, 7);
+        Isa.Halt;
+      ]
+  in
+  let sp, _ = Sandbox.apply p in
+  let f = fixture () in
+  let r = run f sp in
+  Alcotest.check outcome_t "returned" Interp.Returned r.Interp.outcome;
+  Alcotest.(check int) "landed at translated target" 7 r.Interp.regs.(6)
+
+let test_kill_call_denied () =
+  let f = fixture () in
+  let p = prog [ Isa.Call Isa.K_send; Isa.Halt ] in
+  let r = run ~allowed:[ Isa.K_msg_len ] f p in
+  Alcotest.check outcome_t "denied" (Interp.Killed (Isa.Call_denied Isa.K_send))
+    r.Interp.outcome
+
+let test_msg_bounds_enforced_by_kcall () =
+  let f = fixture ~msg_size:16 () in
+  let p =
+    prog [ Isa.Li (Isa.reg_arg0, 20); Isa.Call Isa.K_msg_read32; Isa.Halt ]
+  in
+  let r = run f p in
+  (match r.Interp.outcome with
+   | Interp.Killed (Isa.Mem_fault _) -> ()
+   | _ -> Alcotest.fail "kcall must bounds-check against message length")
+
+(* ------------------------------------------------------------------ *)
+(* Kernel calls                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_kcall_msg_read () =
+  let f = fixture ~msg_contents:"\xca\xfe\xba\xbe" () in
+  let p =
+    prog
+      [
+        Isa.Li (Isa.reg_arg0, 0); Isa.Call Isa.K_msg_read32;
+        Isa.Mov (5, Isa.reg_arg0);
+        Isa.Call Isa.K_msg_len;
+        Isa.Mov (6, Isa.reg_arg0);
+        Isa.Halt;
+      ]
+  in
+  let r = run f p in
+  Alcotest.(check int) "read32" 0xcafebabe r.Interp.regs.(5);
+  Alcotest.(check int) "len" 64 r.Interp.regs.(6)
+
+let test_kcall_send () =
+  let f = fixture ~msg_contents:"ping" () in
+  let b = Builder.create () in
+  Builder.li b Isa.reg_arg0 f.msg.Memory.base;
+  Builder.li b Isa.reg_arg1 4;
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  let r = run f (Builder.assemble b) in
+  Alcotest.check outcome_t "committed" Interp.Committed r.Interp.outcome;
+  match !(f.sent) with
+  | [ frame ] -> Alcotest.(check string) "reply" "ping" (Bytes.to_string frame)
+  | l -> Alcotest.failf "expected one send, got %d" (List.length l)
+
+let test_kcall_copy_moves_message () =
+  let f = fixture ~msg_contents:"0123456789abcdef" () in
+  let b = Builder.create () in
+  Builder.li b Isa.reg_arg0 0;
+  Builder.li b Isa.reg_arg1 f.buf.Memory.base;
+  Builder.li b Isa.reg_arg2 16;
+  Builder.call b Isa.K_copy;
+  Builder.commit b;
+  let r = run f (Builder.assemble b) in
+  Alcotest.check outcome_t "committed" Interp.Committed r.Interp.outcome;
+  Alcotest.(check string) "payload landed" "0123456789abcdef"
+    (Memory.read_string (Machine.mem f.machine) ~addr:f.buf.Memory.base ~len:16)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction accounting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counts_sandboxed_vs_not () =
+  let b = Builder.create () in
+  let v = Builder.temp b in
+  Builder.emit b (Isa.Ld32 (v, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.Addi (v, v, 1));
+  Builder.emit b (Isa.St32 (v, Isa.reg_msg_addr, 0));
+  Builder.commit b;
+  let p = Builder.assemble b in
+  let sp, _ = Sandbox.apply p in
+  let f = fixture () in
+  let r = run f p in
+  Machine.flush_cache f.machine;
+  let rs = run f sp in
+  Alcotest.(check int) "plain has no check insns" 0 r.Interp.check_insns;
+  Alcotest.(check bool) "sandboxed executes more" true
+    (rs.Interp.insns > r.Interp.insns);
+  Alcotest.(check bool) "check insns counted" true (rs.Interp.check_insns > 0);
+  Alcotest.(check bool) "costs more cycles" true
+    (rs.Interp.cycles > r.Interp.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Assembler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Asm = Ash_vm.Asm
+
+let test_asm_basic () =
+  let src = {|
+    ; a trivial handler
+    li    r5, 42
+    addi  r5, r5, 0x10
+    halt
+  |} in
+  match Asm.parse src with
+  | Error e -> Alcotest.failf "parse failed: %a" Asm.pp_error e
+  | Ok p ->
+    let f = fixture () in
+    let r = run f p in
+    Alcotest.(check int) "assembled and ran" (42 + 16) r.Interp.regs.(5)
+
+let test_asm_labels_and_branches () =
+  let src = {|
+      li   r5, 0
+      li   r6, 5
+    loop:
+      addi r5, r5, 1
+      bltu r5, r6, @loop
+      halt
+  |} in
+  match Asm.parse src with
+  | Error e -> Alcotest.failf "parse failed: %a" Asm.pp_error e
+  | Ok p ->
+    let f = fixture () in
+    let r = run f p in
+    Alcotest.(check int) "loop ran five times" 5 r.Interp.regs.(5)
+
+let test_asm_memory_and_calls () =
+  let src = {|
+      ld32 r5, 0(r28)
+      st32 r5, 4(r28)
+      call msg_len
+      mov  r2, r1
+      mov  r1, r28
+      call send
+      commit
+  |} in
+  match Asm.parse src with
+  | Error e -> Alcotest.failf "parse failed: %a" Asm.pp_error e
+  | Ok p ->
+    let f = fixture ~msg_contents:"\x01\x02\x03\x04" () in
+    let r = run f p in
+    Alcotest.check outcome_t "committed" Interp.Committed r.Interp.outcome;
+    Alcotest.(check int) "one reply" 1 (List.length !(f.sent))
+
+let test_asm_errors () =
+  let cases =
+    [
+      ("wiggle r1, r2\nhalt", "unknown mnemonic");
+      ("li r99, 1\nhalt", "out of range");
+      ("li r1\nhalt", "expects 2 operand");
+      ("jmp @nowhere\nhalt", "undefined label");
+      ("jmp @99\nhalt", "outside program");
+      ("call frobnicate\nhalt", "unknown kernel call");
+      ("", "empty program");
+      ("x: halt\nx: halt", "duplicate label");
+    ]
+  in
+  List.iter
+    (fun (src, expect) ->
+       match Asm.parse src with
+       | Ok _ -> Alcotest.failf "expected error (%s) for %S" expect src
+       | Error e ->
+         let msg = Format.asprintf "%a" Asm.pp_error e in
+         Alcotest.(check bool)
+           (Printf.sprintf "%S mentions %S" msg expect)
+           true (contains msg expect))
+    cases
+
+let test_asm_roundtrip () =
+  (* Disassemble-then-reassemble must preserve length and behaviour for
+     representative handlers, including ones with loops and calls. *)
+  let mk_loopy () =
+    let b = Builder.create ~name:"loopy" () in
+    let c = Builder.temp b and lim = Builder.temp b in
+    Builder.li b c 0;
+    Builder.li b lim 7;
+    let loop = Builder.here b in
+    Builder.emit b (Isa.Addi (c, c, 3));
+    Builder.bltu b c lim loop;
+    Builder.emit b (Isa.Cksum32 (16, c));
+    Builder.halt b;
+    Builder.assemble b
+  in
+  let mk_echo () =
+    let b = Builder.create ~name:"echo" () in
+    Builder.call b Isa.K_msg_len;
+    Builder.emit b (Isa.Mov (Isa.reg_arg1, Isa.reg_arg0));
+    Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+    Builder.call b Isa.K_send;
+    Builder.commit b;
+    Builder.assemble b
+  in
+  List.iter
+    (fun (name, p) ->
+       match Asm.roundtrip p with
+       | Error e -> Alcotest.failf "%s roundtrip failed: %a" name Asm.pp_error e
+       | Ok p2 ->
+         Alcotest.(check int)
+           (name ^ " same length")
+           (Program.length p) (Program.length p2);
+         let f1 = fixture ~msg_contents:"abcd" () in
+         let f2 = fixture ~msg_contents:"abcd" () in
+         let r1 = run f1 p and r2 = run f2 p2 in
+         Alcotest.(check bool) (name ^ " same outcome") true
+           (r1.Interp.outcome = r2.Interp.outcome);
+         Alcotest.(check bool) (name ^ " same registers") true
+           (r1.Interp.regs = r2.Interp.regs))
+    [ ("loopy", mk_loopy ()); ("echo", mk_echo ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sandbox_preserves_result =
+  QCheck.Test.make ~name:"sandboxing preserves ALU results" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 30) (pair (int_bound 3) (int_bound 0xffff)))
+    (fun ops ->
+       let insns =
+         List.map
+           (fun (op, v) ->
+              match op with
+              | 0 -> Isa.Li (5, v)
+              | 1 -> Isa.Addi (5, 5, v)
+              | 2 -> Isa.Xori (5, 5, v)
+              | _ -> Isa.Sll (5, 5, v land 7))
+           ops
+         @ [ Isa.Halt ]
+       in
+       let p = prog insns in
+       let sp, _ = Sandbox.apply p in
+       let f = fixture () in
+       let a = run f p and b = run f sp in
+       a.Interp.regs.(5) = b.Interp.regs.(5))
+
+let prop_verifier_accepts_builder_output =
+  QCheck.Test.make ~name:"builder output always verifies" ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 20) (int_bound 1000))
+    (fun vs ->
+       let b = Builder.create () in
+       List.iter (fun v -> Builder.li b 5 v) vs;
+       Builder.halt b;
+       match Verify.check (Builder.assemble b) with
+       | Ok _ -> true
+       | Error _ -> false)
+
+let prop_gas_always_terminates =
+  QCheck.Test.make ~name:"gas bounds any control flow" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_bound 100))
+    (fun seeds ->
+       let n = List.length seeds + 1 in
+       let insns =
+         List.mapi
+           (fun i s ->
+              if s mod 3 = 0 then Isa.Jmp (s mod n)
+              else if s mod 3 = 1 then Isa.Li (5, s)
+              else Isa.Beq (0, 0, (s + i) mod n))
+           seeds
+         @ [ Isa.Halt ]
+       in
+       let f = fixture () in
+       let r = run ~gas:5_000 f (prog insns) in
+       match r.Interp.outcome with _ -> true)
+
+let () =
+  Alcotest.run "ash_vm"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "labels" `Quick test_builder_labels;
+          Alcotest.test_case "unplaced label" `Quick test_builder_unplaced_label;
+          Alcotest.test_case "fall off end" `Quick test_builder_fall_off_end;
+          Alcotest.test_case "register classes" `Quick
+            test_builder_register_classes;
+          Alcotest.test_case "rejects raw branch" `Quick
+            test_builder_rejects_raw_branch;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "accepts good" `Quick test_verify_accepts_good;
+          Alcotest.test_case "rejects fp" `Quick test_verify_rejects_fp;
+          Alcotest.test_case "rejects signed" `Quick test_verify_rejects_signed;
+          Alcotest.test_case "rejects bad target" `Quick
+            test_verify_rejects_bad_target;
+          Alcotest.test_case "rejects fall-off" `Quick
+            test_verify_rejects_fall_off;
+          Alcotest.test_case "rejects bad register" `Quick
+            test_verify_rejects_bad_register;
+          Alcotest.test_case "rejects denied call" `Quick
+            test_verify_rejects_denied_call;
+          Alcotest.test_case "rejects smuggled checks" `Quick
+            test_verify_rejects_smuggled_checks;
+        ] );
+      ( "sandbox",
+        [
+          Alcotest.test_case "adds checks" `Quick test_sandbox_adds_checks;
+          Alcotest.test_case "remaps branches" `Quick
+            test_sandbox_remaps_branches;
+          Alcotest.test_case "gas probes" `Quick
+            test_sandbox_gas_probes_at_back_targets;
+          Alcotest.test_case "double apply rejected" `Quick
+            test_sandbox_double_apply_rejected;
+          Alcotest.test_case "overhead ratio (sec V-D)" `Quick
+            test_sandbox_overhead_ratio_small_vs_large;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "alu" `Quick test_alu_ops;
+          Alcotest.test_case "32-bit wraparound" `Quick test_wraparound_32bit;
+          Alcotest.test_case "r0 is zero" `Quick test_r0_is_zero;
+          Alcotest.test_case "memory ops" `Quick test_memory_ops;
+          Alcotest.test_case "cksum32 carry" `Quick test_cksum32_insn;
+          Alcotest.test_case "termination outcomes" `Quick
+            test_termination_outcomes;
+          Alcotest.test_case "shift masking" `Quick test_shift_amounts_masked;
+          Alcotest.test_case "mul wraps" `Quick test_mul_wraps_32bit;
+          Alcotest.test_case "sltu unsigned" `Quick test_sltu_unsigned_compare;
+          Alcotest.test_case "self-branch bounded" `Quick
+            test_branch_to_self_exhausts_gas_not_stack;
+          Alcotest.test_case "regs_init seeding" `Quick test_regs_init_seeding;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "wild load killed" `Quick test_kill_wild_load;
+          Alcotest.test_case "non-resident killed" `Quick test_kill_nonresident;
+          Alcotest.test_case "div by zero killed" `Quick test_kill_div_zero;
+          Alcotest.test_case "gas exhaustion killed" `Quick
+            test_kill_gas_exhausted;
+          Alcotest.test_case "4k work fits budget" `Quick
+            test_gas_budget_allows_4k_work;
+          Alcotest.test_case "wild jr killed" `Quick test_kill_wild_indirect_jump;
+          Alcotest.test_case "jr translated after sandbox" `Quick
+            test_indirect_jump_translated_after_sandbox;
+          Alcotest.test_case "call denied" `Quick test_kill_call_denied;
+          Alcotest.test_case "kcall bounds" `Quick
+            test_msg_bounds_enforced_by_kcall;
+        ] );
+      ( "kcalls",
+        [
+          Alcotest.test_case "msg read" `Quick test_kcall_msg_read;
+          Alcotest.test_case "send" `Quick test_kcall_send;
+          Alcotest.test_case "copy" `Quick test_kcall_copy_moves_message;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "sandboxed vs plain counts" `Quick
+            test_counts_sandboxed_vs_not;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "basic" `Quick test_asm_basic;
+          Alcotest.test_case "labels and branches" `Quick
+            test_asm_labels_and_branches;
+          Alcotest.test_case "memory and calls" `Quick
+            test_asm_memory_and_calls;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "roundtrip" `Quick test_asm_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_sandbox_preserves_result;
+          QCheck_alcotest.to_alcotest prop_verifier_accepts_builder_output;
+          QCheck_alcotest.to_alcotest prop_gas_always_terminates;
+        ] );
+    ]
