@@ -60,7 +60,19 @@ let run_cmd =
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Also emit Markdown.")
   in
-  let run markdown ids =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+           ~doc:"Record structured trace events while the experiments run \
+                 and print the event stream plus counter/histogram \
+                 summaries afterwards.")
+  in
+  let trace_json =
+    Arg.(value & flag
+         & info [ "trace-json" ]
+           ~doc:"Like $(b,--trace), but dump the recording as JSON.")
+  in
+  let run markdown trace trace_json ids =
     let selected =
       if ids = [] then experiments
       else
@@ -75,14 +87,25 @@ let run_cmd =
                exit 2)
           ids
     in
+    let recorder =
+      if trace || trace_json then Some (Ash_obs.Trace.record ()) else None
+    in
     List.iter
       (fun (_, _, f) ->
          let table = f () in
          Format.printf "%a" Report.print table;
          if markdown then print_string (Report.to_markdown table))
-      selected
+      selected;
+    match recorder with
+    | None -> ()
+    | Some r ->
+      Ash_obs.Trace.stop r;
+      if trace then Format.printf "%a@." (Report.print_trace ?max_events:None) r;
+      if trace_json then print_endline (Report.trace_to_json r)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ markdown $ ids)
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ markdown $ trace $ trace_json $ ids)
 
 let inspect_cmd =
   let doc =

@@ -66,3 +66,8 @@ let to_markdown t =
     (fun n -> Buffer.add_string buf (Printf.sprintf "\n_Note: %s_\n" n))
     t.notes;
   Buffer.contents buf
+
+let print_trace ?max_events ppf recorder =
+  Ash_obs.Dump.pp_recorder ?max_events ppf recorder
+
+let trace_to_json recorder = Ash_obs.Dump.to_json recorder

@@ -30,3 +30,11 @@ val to_markdown : table -> string
 
 val deviation : row -> float option
 (** measured/paper ratio, when the paper value exists and is nonzero. *)
+
+val print_trace :
+  ?max_events:int -> Format.formatter -> Ash_obs.Trace.recorder -> unit
+(** Human-readable dump of a trace recorder: the most recent events
+    (capped at [max_events]), then counter and histogram summaries. *)
+
+val trace_to_json : Ash_obs.Trace.recorder -> string
+(** JSON rendering of the same recorder, for machine consumption. *)

@@ -56,9 +56,14 @@ let run_compiled machine program ~msg_addr ~msg_len =
       gas_cycles = Interp.default_gas;
     }
   in
-  match (Interp.run env program).Interp.outcome with
-  | Interp.Committed -> true
-  | Interp.Aborted | Interp.Returned | Interp.Killed _ -> false
+  let matched =
+    match (Interp.run env program).Interp.outcome with
+    | Interp.Committed -> true
+    | Interp.Aborted | Interp.Returned | Interp.Killed _ -> false
+  in
+  if Ash_obs.Trace.enabled () then
+    Ash_obs.Trace.emit (Ash_obs.Trace.Dpf_eval { compiled = true; matched });
+  matched
 
 (* Per-atom decode/dispatch cost of a tree-walking filter interpreter:
    fetch the atom record, switch on the opcode, bounds-check, loop — the
@@ -84,6 +89,9 @@ let run_interpreted machine atoms ~msg_addr ~msg_len =
          end
        end)
     atoms;
+  if Ash_obs.Trace.enabled () then
+    Ash_obs.Trace.emit
+      (Ash_obs.Trace.Dpf_eval { compiled = false; matched = !ok });
   !ok
 
 let matches pkt atoms =

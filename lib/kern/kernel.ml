@@ -10,6 +10,7 @@ module Interp = Ash_vm.Interp
 module Dilp = Ash_pipes.Dilp
 module An2 = Ash_nic.An2
 module Ethernet = Ash_nic.Ethernet
+module Trace = Ash_obs.Trace
 
 type ash_id = int
 
@@ -378,6 +379,8 @@ let wakeup_wait t =
 
 let user_path t b ~addr ~len ~release =
   t.s_user <- t.s_user + 1;
+  if Trace.enabled () then
+    Trace.emit (Trace.User_deliver { vc = b.bvc });
   let wait = wakeup_wait t in
   let d = settle t in
   ignore
@@ -425,12 +428,13 @@ let eth_env base t =
          queue_tx t Tx_eth frame);
   }
 
-let run_handler_common t b ~addr ~len ~release ~env ~upcall ~(ash : ash) =
+let run_handler_common t b ~id ~addr ~len ~release ~env ~upcall ~(ash : ash) =
   let r = Interp.run env ash.program in
   ash.last <- Some r;
   match r.Interp.outcome with
   | Interp.Committed ->
     t.s_ash_committed <- t.s_ash_committed + 1;
+    if Trace.enabled () then Trace.emit (Trace.Ash_commit { id });
     release ();
     (match b.commit_hook with
      | None -> ignore (settle t)
@@ -453,31 +457,39 @@ let run_handler_common t b ~addr ~len ~release ~env ~upcall ~(ash : ash) =
               ignore (settle t))))
   | Interp.Aborted | Interp.Returned ->
     t.s_ash_vol <- t.s_ash_vol + 1;
+    if Trace.enabled () then Trace.emit (Trace.Ash_abort { id });
     (* Voluntary abort: the kernel handles the message normally. *)
     user_path t b ~addr ~len ~release
-  | Interp.Killed _ ->
+  | Interp.Killed v ->
     t.s_ash_invol <- t.s_ash_invol + 1;
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Ash_kill
+           { id; reason = Format.asprintf "%a" Ash_vm.Isa.pp_violation v });
     user_path t b ~addr ~len ~release
 
 let ash_path t b id ~eth ~addr ~len ~release =
   let ash = find_ash t id in
+  if Trace.enabled () then
+    Trace.emit (Trace.Ash_dispatch { id; vc = b.bvc });
   if not ash.hardwired then begin
     charge_ns t t.costs.Costs.ash_dispatch_ns;
     if ash.sandboxed then charge_ns t (2 * t.costs.Costs.ash_timer_ns)
   end;
   let env = ash_env t ~vc:b.bvc ~addr ~len ~allowed:ash.allowed in
   let env = if eth then eth_env env t else env in
-  run_handler_common t b ~addr ~len ~release ~env ~upcall:false ~ash
+  run_handler_common t b ~id ~addr ~len ~release ~env ~upcall:false ~ash
 
 let upcall_path t b id ~eth ~addr ~len ~release =
   let ash = find_ash t id in
   t.s_upcalls <- t.s_upcalls + 1;
+  if Trace.enabled () then Trace.emit (Trace.Upcall { vc = b.bvc });
   charge_ns t t.costs.Costs.upcall_ns;
   if t.app_state = Suspended then
     charge_ns t t.costs.Costs.upcall_suspended_extra_ns;
   let env = upcall_env t ~vc:b.bvc ~addr ~len ~allowed:ash.allowed in
   let env = if eth then eth_env env t else env in
-  run_handler_common t b ~addr ~len ~release ~env ~upcall:true ~ash;
+  run_handler_common t b ~id ~addr ~len ~release ~env ~upcall:true ~ash;
   (* Return crossing from the upcall back into the kernel. *)
   charge_ns t t.costs.Costs.crossing_ns
 
@@ -493,9 +505,14 @@ let dispatch t b ~eth ~addr ~len ~release =
 (* Driver receive hooks                                              *)
 (* ---------------------------------------------------------------- *)
 
+let kern_drop nic reason =
+  if Trace.enabled () then Trace.emit (Trace.Pkt_drop { nic; reason })
+
 let on_an2_rx t (rx : An2.rx) =
   match Hashtbl.find_opt t.bindings rx.An2.vc with
-  | None -> t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1
+  | None ->
+    t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+    kern_drop "an2" "unbound"
   | Some b ->
     (* Software cache flush of the message location after DMA (§V). *)
     Machine.flush_range t.machine ~addr:rx.An2.addr ~len:rx.An2.len;
@@ -504,6 +521,7 @@ let on_an2_rx t (rx : An2.rx) =
       (* Link-level corruption: the driver drops the frame and recycles
          the buffer; protocols recover end to end. *)
       t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+      kern_drop "an2" "crc";
       if b.auto_repost then
         post_receive_buffer t ~vc:rx.An2.vc ~addr:rx.An2.addr
           ~len:rx.An2.buf_len;
@@ -533,6 +551,7 @@ let on_eth_rx t (rx : Ethernet.rx) =
   if not rx.Ethernet.crc_ok then begin
     Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
     t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+    kern_drop "eth" "crc";
     ignore (settle t)
   end
   else begin
@@ -540,6 +559,7 @@ let on_eth_rx t (rx : Ethernet.rx) =
     | None ->
       Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
       t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+      kern_drop "eth" "no-pktbuf";
       ignore (settle t)
     | Some pktbuf ->
       (* The mandatory copy out of the device's limited buffers
@@ -568,8 +588,13 @@ let on_eth_rx t (rx : Ethernet.rx) =
        | None ->
          release ();
          t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+         if Trace.enabled () then Trace.emit Trace.Dpf_miss;
+         kern_drop "eth" "dpf-miss";
          ignore (settle t)
-       | Some b -> dispatch t b ~eth:true ~addr:pktbuf ~len ~release)
+       | Some b ->
+         if Trace.enabled () then
+           Trace.emit (Trace.Dpf_match { vc = b.bvc });
+         dispatch t b ~eth:true ~addr:pktbuf ~len ~release)
   end
 
 let attach_an2 t nic =

@@ -3,8 +3,13 @@ module Machine = Ash_sim.Machine
 module Memory = Ash_sim.Memory
 module Costs = Ash_sim.Costs
 module Crc32 = Ash_util.Crc32
+module Trace = Ash_obs.Trace
 
 let max_frame = 4096
+
+let drop reason =
+  if Trace.enabled () then
+    Trace.emit (Trace.Pkt_drop { nic = "an2"; reason })
 
 type rx = { vc : int; addr : int; len : int; buf_len : int; crc_ok : bool }
 
@@ -86,16 +91,22 @@ let set_rx_handler t f = t.rx_handler <- f
    demux, DMA into the next posted buffer, CRC verdict, driver upcall. *)
 let deliver t ~vc ~payload ~crc_sent =
   match Hashtbl.find_opt t.vcs vc with
-  | None -> t.rx_dropped_no_vc <- t.rx_dropped_no_vc + 1
+  | None ->
+    t.rx_dropped_no_vc <- t.rx_dropped_no_vc + 1;
+    drop "no-vc"
   | Some s -> begin
       match s.buffers with
-      | [] -> t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1
+      | [] ->
+        t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1;
+        drop "no-buffer"
       | (addr, buf_len) :: rest ->
         let len = Bytes.length payload in
-        if len > buf_len then
+        if len > buf_len then begin
           (* A frame bigger than the posted buffer is a binding error;
              the board drops it rather than overrunning memory. *)
-          t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1
+          t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1;
+          drop "too-big"
+        end
         else begin
           s.buffers <- rest;
           Memory.blit_from_bytes (Machine.mem t.machine) ~src:payload
@@ -103,6 +114,8 @@ let deliver t ~vc ~payload ~crc_sent =
           let crc_ok = Crc32.digest payload ~off:0 ~len = crc_sent in
           if not crc_ok then t.rx_crc_errors <- t.rx_crc_errors + 1;
           t.rx_frames <- t.rx_frames + 1;
+          if Trace.enabled () then
+            Trace.emit (Trace.Pkt_rx { nic = "an2"; bytes = len });
           t.rx_handler { vc; addr; len; buf_len; crc_ok }
         end
     end
@@ -114,6 +127,8 @@ let transmit t ~vc payload =
   match t.peer, t.tx_link with
   | Some peer, Some link ->
     t.tx_frames <- t.tx_frames + 1;
+    if Trace.enabled () then
+      Trace.emit (Trace.Pkt_tx { nic = "an2"; bytes = len });
     (* The CRC is computed by the board over the bytes as sent; the copy
        here freezes the frame at transmit time. *)
     let frame = Bytes.copy payload in

@@ -3,6 +3,7 @@ module Machine = Ash_sim.Machine
 module Memory = Ash_sim.Memory
 module Costs = Ash_sim.Costs
 module Crc32 = Ash_util.Crc32
+module Trace = Ash_obs.Trace
 
 let stripe = 16
 
@@ -89,7 +90,10 @@ let dma_striped t ~slot ~payload =
 
 let deliver t ~payload ~crc_sent =
   match t.free_ring with
-  | [] -> t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1
+  | [] ->
+    t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1;
+    if Trace.enabled () then
+      Trace.emit (Trace.Pkt_drop { nic = "eth"; reason = "no-buffer" })
   | slot :: rest ->
     t.free_ring <- rest;
     t.outstanding <- slot :: t.outstanding;
@@ -98,6 +102,8 @@ let deliver t ~payload ~crc_sent =
     let crc_ok = Crc32.digest payload ~off:0 ~len = crc_sent in
     if not crc_ok then t.rx_crc_errors <- t.rx_crc_errors + 1;
     t.rx_frames <- t.rx_frames + 1;
+    if Trace.enabled () then
+      Trace.emit (Trace.Pkt_rx { nic = "eth"; bytes = len });
     t.rx_handler { ring_addr = slot; len; crc_ok }
 
 let transmit t payload =
@@ -106,6 +112,8 @@ let transmit t payload =
   match t.peer, t.tx_link with
   | Some peer, Some link ->
     t.tx_frames <- t.tx_frames + 1;
+    if Trace.enabled () then
+      Trace.emit (Trace.Pkt_tx { nic = "eth"; bytes = len });
     let frame = Bytes.copy payload in
     let crc_sent = Crc32.digest frame ~off:0 ~len in
     if t.corrupt_next then begin

@@ -1,4 +1,5 @@
 module Engine = Ash_sim.Engine
+module Trace = Ash_obs.Trace
 
 type t = {
   engine : Engine.t;
@@ -19,6 +20,8 @@ let transmit t ~bytes deliver =
     + int_of_float (Float.round (float_of_int bytes *. t.ns_per_byte))
   in
   t.free_at <- start + wire;
+  if Trace.enabled () then
+    Trace.emit (Trace.Wire_tx { bytes; busy_until = t.free_at });
   let arrival = start + wire + t.fixed_ns in
   ignore (Engine.schedule_at t.engine ~at:arrival (fun () -> deliver ()))
 

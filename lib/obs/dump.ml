@@ -1,0 +1,102 @@
+(* Text and JSON rendering of a recorder's trace ring and metrics. The
+   JSON is hand-rolled so the library stays dependency-free. *)
+
+let default_max_events = 200
+
+let pp_recorder ?(max_events = default_max_events) ppf r =
+  let events = Trace.events r in
+  let n = List.length events in
+  let shown = if max_events < 0 then events else
+      (* Keep the most recent [max_events]: the tail of the run is what
+         a failing experiment usually needs. *)
+      let skip = max 0 (n - max_events) in
+      List.filteri (fun i _ -> i >= skip) events
+  in
+  Format.fprintf ppf "@.=== trace: %d events (%d dropped from ring) ===@."
+    (Trace.total r) (Trace.dropped r);
+  let elided = n - List.length shown in
+  if elided > 0 then
+    Format.fprintf ppf "  ... %d earlier events elided ...@." elided;
+  List.iter (fun e -> Format.fprintf ppf "  %a@." Trace.pp_event e) shown;
+  let m = Trace.metrics r in
+  Format.fprintf ppf "=== counters ===@.";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-28s %d@." name v)
+    (Metrics.counters m);
+  let histos = Metrics.histograms m in
+  if histos <> [] then begin
+    Format.fprintf ppf "=== histograms ===@.";
+    List.iter
+      (fun (name, s) ->
+         Format.fprintf ppf "  %-28s %a@." name Metrics.pp_summary s)
+      histos
+  end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_field_value v =
+  (* Numeric and boolean field values pass through bare; everything else
+     is quoted. *)
+  let numeric =
+    v <> ""
+    && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') v
+  in
+  if numeric || v = "true" || v = "false" then v
+  else "\"" ^ json_escape v ^ "\""
+
+let event_to_json (e : Trace.event) =
+  let fields =
+    List.map
+      (fun (f, v) -> Printf.sprintf "\"%s\":%s" f (json_field_value v))
+      (Trace.fields e.Trace.kind)
+  in
+  Printf.sprintf "{\"seq\":%d,\"ts\":%d,\"kind\":\"%s\"%s}" e.Trace.seq
+    e.Trace.ts
+    (Trace.label e.Trace.kind)
+    (if fields = [] then "" else "," ^ String.concat "," fields)
+
+let summary_to_json (s : Metrics.summary) =
+  Printf.sprintf
+    "{\"count\":%d,\"min\":%g,\"max\":%g,\"mean\":%g,\"p50\":%g,\"p90\":%g,\"p99\":%g}"
+    s.Metrics.count s.Metrics.min s.Metrics.max s.Metrics.mean s.Metrics.p50
+    s.Metrics.p90 s.Metrics.p99
+
+let to_json r =
+  let m = Trace.metrics r in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"total\":%d,\"dropped\":%d,\"events\":[" (Trace.total r)
+       (Trace.dropped r));
+  List.iteri
+    (fun i e ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf (event_to_json e))
+    (Trace.events r);
+  Buffer.add_string buf "],\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (Metrics.counters m);
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, s) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf "\"%s\":%s" (json_escape name) (summary_to_json s)))
+    (Metrics.histograms m);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

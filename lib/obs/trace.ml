@@ -1,0 +1,216 @@
+type kind =
+  | Ev_scheduled of { at : int }
+  | Ev_fired
+  | Pkt_tx of { nic : string; bytes : int }
+  | Pkt_rx of { nic : string; bytes : int }
+  | Pkt_drop of { nic : string; reason : string }
+  | Wire_tx of { bytes : int; busy_until : int }
+  | Dpf_eval of { compiled : bool; matched : bool }
+  | Dpf_match of { vc : int }
+  | Dpf_miss
+  | Upcall of { vc : int }
+  | User_deliver of { vc : int }
+  | Ash_dispatch of { id : int; vc : int }
+  | Ash_commit of { id : int }
+  | Ash_abort of { id : int }
+  | Ash_kill of { id : int; reason : string }
+  | Sandbox_violation of { reason : string }
+  | Vm_run of {
+      name : string;
+      outcome : string;
+      insns : int;
+      check_insns : int;
+      cycles : int;
+    }
+  | Dilp_compile of { name : string; insns : int }
+  | Dilp_run of { name : string; len : int }
+  | Tcp_fast_hit
+  | Tcp_fast_miss
+  | Mark of string
+
+type event = { seq : int; ts : int; kind : kind }
+
+(* ---------------------------------------------------------------- *)
+(* Global emission point                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* Virtual-time source for event timestamps. The simulation engine
+   registers its clock on creation (last engine created wins); before
+   any engine exists events are stamped 0. *)
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* The sink is a single mutable function: when tracing is off, hot
+   paths pay one flag load (emission sites guard on [enabled] so the
+   event payload is never even allocated). *)
+let sink : (kind -> unit) ref = ref ignore
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+let emit k = !sink k
+
+let set_sink f =
+  sink := f;
+  enabled_flag := true
+
+let clear_sink () =
+  sink := ignore;
+  enabled_flag := false
+
+(* ---------------------------------------------------------------- *)
+(* Labels and structured fields (shared by text and JSON dumps)      *)
+(* ---------------------------------------------------------------- *)
+
+let label = function
+  | Ev_scheduled _ -> "engine.scheduled"
+  | Ev_fired -> "engine.fired"
+  | Pkt_tx _ -> "pkt.tx"
+  | Pkt_rx _ -> "pkt.rx"
+  | Pkt_drop _ -> "pkt.drop"
+  | Wire_tx _ -> "wire.tx"
+  | Dpf_eval _ -> "dpf.eval"
+  | Dpf_match _ -> "dpf.match"
+  | Dpf_miss -> "dpf.miss"
+  | Upcall _ -> "kern.upcall"
+  | User_deliver _ -> "kern.user_deliver"
+  | Ash_dispatch _ -> "ash.dispatch"
+  | Ash_commit _ -> "ash.commit"
+  | Ash_abort _ -> "ash.abort"
+  | Ash_kill _ -> "ash.kill"
+  | Sandbox_violation _ -> "sandbox.violation"
+  | Vm_run _ -> "vm.run"
+  | Dilp_compile _ -> "dilp.compile"
+  | Dilp_run _ -> "dilp.run"
+  | Tcp_fast_hit -> "tcp.fast.hit"
+  | Tcp_fast_miss -> "tcp.fast.miss"
+  | Mark _ -> "mark"
+
+let fields = function
+  | Ev_scheduled { at } -> [ ("at", string_of_int at) ]
+  | Ev_fired -> []
+  | Pkt_tx { nic; bytes } | Pkt_rx { nic; bytes } ->
+    [ ("nic", nic); ("bytes", string_of_int bytes) ]
+  | Pkt_drop { nic; reason } -> [ ("nic", nic); ("reason", reason) ]
+  | Wire_tx { bytes; busy_until } ->
+    [ ("bytes", string_of_int bytes); ("busy_until", string_of_int busy_until) ]
+  | Dpf_eval { compiled; matched } ->
+    [ ("compiled", string_of_bool compiled);
+      ("matched", string_of_bool matched) ]
+  | Dpf_match { vc } -> [ ("vc", string_of_int vc) ]
+  | Dpf_miss -> []
+  | Upcall { vc } | User_deliver { vc } -> [ ("vc", string_of_int vc) ]
+  | Ash_dispatch { id; vc } ->
+    [ ("id", string_of_int id); ("vc", string_of_int vc) ]
+  | Ash_commit { id } | Ash_abort { id } -> [ ("id", string_of_int id) ]
+  | Ash_kill { id; reason } ->
+    [ ("id", string_of_int id); ("reason", reason) ]
+  | Sandbox_violation { reason } -> [ ("reason", reason) ]
+  | Vm_run { name; outcome; insns; check_insns; cycles } ->
+    [ ("name", name); ("outcome", outcome);
+      ("insns", string_of_int insns);
+      ("check_insns", string_of_int check_insns);
+      ("cycles", string_of_int cycles) ]
+  | Dilp_compile { name; insns } ->
+    [ ("name", name); ("insns", string_of_int insns) ]
+  | Dilp_run { name; len } ->
+    [ ("name", name); ("len", string_of_int len) ]
+  | Tcp_fast_hit | Tcp_fast_miss -> []
+  | Mark m -> [ ("label", m) ]
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf (label k);
+  List.iter (fun (f, v) -> Format.fprintf ppf " %s=%s" f v) (fields k)
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%10d] #%-6d %a" e.ts e.seq pp_kind e.kind
+
+(* ---------------------------------------------------------------- *)
+(* Recorder: bounded ring + derived metrics                          *)
+(* ---------------------------------------------------------------- *)
+
+type recorder = {
+  cap : int;
+  ring : event array;
+  mutable total : int; (* events ever recorded; ring keeps the last cap *)
+  metrics : Metrics.t;
+}
+
+let default_capacity = 65_536
+
+let dummy_event = { seq = -1; ts = 0; kind = Ev_fired }
+
+(* Counter/histogram derivation keeps the emission sites trivial: they
+   describe what happened; accounting policy lives here. *)
+let account m kind =
+  let c name = Metrics.incr m name in
+  match kind with
+  | Ev_scheduled _ -> c "engine.scheduled"
+  | Ev_fired -> c "engine.fired"
+  | Pkt_tx { nic; _ } -> c ("pkt.tx." ^ nic)
+  | Pkt_rx { nic; _ } -> c ("pkt.rx." ^ nic)
+  | Pkt_drop { nic; reason } -> c ("pkt.drop." ^ nic ^ "." ^ reason)
+  | Wire_tx { bytes; _ } ->
+    c "wire.tx";
+    Metrics.observe m "wire.tx.bytes" (float_of_int bytes)
+  | Dpf_eval { compiled; matched } ->
+    c (if compiled then "dpf.eval.compiled" else "dpf.eval.interpreted");
+    c (if matched then "dpf.eval.matched" else "dpf.eval.rejected")
+  | Dpf_match _ -> c "dpf.match"
+  | Dpf_miss -> c "dpf.miss"
+  | Upcall _ -> c "kern.upcall"
+  | User_deliver _ -> c "kern.user_deliver"
+  | Ash_dispatch _ -> c "ash.dispatch"
+  | Ash_commit _ -> c "ash.commit"
+  | Ash_abort _ -> c "ash.abort"
+  | Ash_kill _ -> c "ash.kill"
+  | Sandbox_violation _ -> c "sandbox.violation"
+  | Vm_run { outcome; insns; check_insns; cycles; _ } ->
+    c "vm.run";
+    c ("vm.outcome." ^ outcome);
+    Metrics.observe m "vm.cycles" (float_of_int cycles);
+    Metrics.observe m "vm.insns" (float_of_int insns);
+    if check_insns > 0 then
+      Metrics.observe m "vm.check_insns" (float_of_int check_insns)
+  | Dilp_compile { insns; _ } ->
+    c "dilp.compile";
+    Metrics.observe m "dilp.compile.insns" (float_of_int insns)
+  | Dilp_run { len; _ } ->
+    c "dilp.run";
+    Metrics.observe m "dilp.run.bytes" (float_of_int len)
+  | Tcp_fast_hit -> c "tcp.fast.hit"
+  | Tcp_fast_miss -> c "tcp.fast.miss"
+  | Mark _ -> c "mark"
+
+let record ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.record: capacity must be positive";
+  let r =
+    {
+      cap = capacity;
+      ring = Array.make capacity dummy_event;
+      total = 0;
+      metrics = Metrics.create ();
+    }
+  in
+  set_sink (fun kind ->
+      let e = { seq = r.total; ts = now (); kind } in
+      r.ring.(r.total mod r.cap) <- e;
+      r.total <- r.total + 1;
+      account r.metrics kind);
+  r
+
+let stop _r = clear_sink ()
+
+let total r = r.total
+let dropped r = max 0 (r.total - r.cap)
+
+let events r =
+  let n = min r.total r.cap in
+  let first = r.total - n in
+  List.init n (fun i -> r.ring.((first + i) mod r.cap))
+
+let metrics r = r.metrics
+
+let clear r =
+  r.total <- 0;
+  Metrics.clear r.metrics

@@ -1,0 +1,106 @@
+(** Structured event tracing for the whole stack.
+
+    Every layer emits typed events through a single global sink. By
+    default the sink is a no-op (one flag load on the hot path; emission
+    sites guard on {!enabled} so event payloads are never allocated when
+    tracing is off). Installing a {!recorder} captures events into a
+    bounded in-memory ring, stamps them with virtual time, and derives
+    named counters and histograms from them.
+
+    A recorded run is a replayable, assertable event stream: the
+    determinism and differential test suites compare streams
+    structurally, and [ashbench --trace] dumps them for inspection. *)
+
+(** The trace event taxonomy. Field units: [bytes] are frame bytes,
+    [cycles] are simulated CPU cycles, timestamps are virtual ns. *)
+type kind =
+  | Ev_scheduled of { at : int }  (** engine event enqueued for time [at] *)
+  | Ev_fired  (** engine event dispatched *)
+  | Pkt_tx of { nic : string; bytes : int }  (** frame left a NIC *)
+  | Pkt_rx of { nic : string; bytes : int }  (** frame DMA'd into memory *)
+  | Pkt_drop of { nic : string; reason : string }
+      (** frame lost: "crc", "unbound", "no-buffer", "no-vc",
+          "no-pktbuf", "dpf-miss", "too-big" *)
+  | Wire_tx of { bytes : int; busy_until : int }
+      (** link-level occupancy: the wire is busy until [busy_until] *)
+  | Dpf_eval of { compiled : bool; matched : bool }
+      (** one filter evaluation (compiled or tree-interpreted) *)
+  | Dpf_match of { vc : int }  (** demux found a binding *)
+  | Dpf_miss  (** demux exhausted all bindings *)
+  | Upcall of { vc : int }  (** handler run at user level via upcall *)
+  | User_deliver of { vc : int }  (** message handed to the application *)
+  | Ash_dispatch of { id : int; vc : int }  (** ASH invoked in-kernel *)
+  | Ash_commit of { id : int }
+  | Ash_abort of { id : int }  (** voluntary abort: kernel path takes over *)
+  | Ash_kill of { id : int; reason : string }  (** involuntary termination *)
+  | Sandbox_violation of { reason : string }
+      (** a VM run was killed (gas, memory fault, wild jump, ...) *)
+  | Vm_run of {
+      name : string;
+      outcome : string;
+      insns : int;
+      check_insns : int;
+      cycles : int;
+    }  (** one interpreter run, with the paper's §V-D counters *)
+  | Dilp_compile of { name : string; insns : int }
+  | Dilp_run of { name : string; len : int }
+  | Tcp_fast_hit  (** TCP fast-path handler committed *)
+  | Tcp_fast_miss  (** segment fell back to the library path *)
+  | Mark of string  (** free-form annotation *)
+
+type event = { seq : int; ts : int; kind : kind }
+
+val set_clock : (unit -> int) -> unit
+(** Register the virtual-time source used to stamp events. The
+    simulation engine calls this on creation; the default clock
+    returns 0. *)
+
+val now : unit -> int
+
+val enabled : unit -> bool
+(** True when a sink is installed. Emission sites use this to skip
+    event construction entirely when tracing is off. *)
+
+val emit : kind -> unit
+(** Send an event to the current sink (a no-op when tracing is off). *)
+
+val set_sink : (kind -> unit) -> unit
+val clear_sink : unit -> unit
+
+val label : kind -> string
+(** Stable dotted name of the event type, e.g. ["ash.dispatch"]. *)
+
+val fields : kind -> (string * string) list
+(** The event's payload as name/value pairs, for rendering. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Recorder} *)
+
+type recorder
+(** A bounded ring of the most recent events plus metrics derived from
+    the full stream (counters per event type, cycle/size histograms). *)
+
+val default_capacity : int
+
+val record : ?capacity:int -> unit -> recorder
+(** Create a recorder and install it as the global sink. *)
+
+val stop : recorder -> unit
+(** Uninstall the global sink (the recorder's contents stay readable). *)
+
+val events : recorder -> event list
+(** The retained events, oldest first. At most [capacity] events; the
+    ring keeps the most recent ones. *)
+
+val total : recorder -> int
+(** Events recorded over the recorder's lifetime, including dropped. *)
+
+val dropped : recorder -> int
+(** Events that fell out of the ring ([total - capacity], floored). *)
+
+val metrics : recorder -> Metrics.t
+
+val clear : recorder -> unit
+(** Reset the ring and metrics without uninstalling the sink. *)

@@ -186,6 +186,10 @@ let compile ?(layout = Contiguous) pl mode =
         invalid_arg "Dilp.compile: stripe data size must be a power of two";
       compile_striped ~name pipes mode ~data ~pad
   in
+  if Ash_obs.Trace.enabled () then
+    Ash_obs.Trace.emit
+      (Ash_obs.Trace.Dilp_compile
+         { name; insns = Array.length program.Ash_vm.Program.code });
   {
     program;
     mode;
@@ -197,6 +201,10 @@ let compile ?(layout = Contiguous) pl mode =
 let execute ?(init = []) machine t ~src ~dst ~len =
   if len < 0 || len land 3 <> 0 then
     invalid_arg "Dilp.execute: length must be a non-negative multiple of 4";
+  if Ash_obs.Trace.enabled () then
+    Ash_obs.Trace.emit
+      (Ash_obs.Trace.Dilp_run
+         { name = t.program.Ash_vm.Program.name; len });
   let env =
     {
       Ash_vm.Interp.machine;

@@ -421,6 +421,11 @@ let handle_closing t (tcp : Packet.Tcp.t) ~plen =
   end
 
 let on_segment t ~addr ~len =
+  (* In the fast-path modes, reaching the library means the handler
+     voluntarily aborted (or the segment arrived before setup). *)
+  (match t.cfg.mode with
+   | Library -> ()
+   | Fast_ash _ | Fast_upcall -> Tcp_fastpath.note_miss ());
   tcb_set t Tcb.off_lib_busy 1;
   Kernel.app_compute t.kernel Protocost.tcp_header_predict_ns;
   (match parse_segment t ~addr ~len with
@@ -493,6 +498,7 @@ let on_segment t ~addr ~len =
 (* Library reaction to a fast-path commit: sync with the TCB on the
    next poll. *)
 let on_fast_commit t =
+  Tcp_fastpath.note_hit ();
   deliver_from_rcv_buf t;
   check_acks t
 

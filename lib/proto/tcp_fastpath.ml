@@ -12,6 +12,13 @@ type config = {
 let tcp_off = Packet.ip_header_len
 let payload_off = tcp_off + Packet.tcp_header_len
 
+let note_hit () =
+  if Ash_obs.Trace.enabled () then Ash_obs.Trace.emit Ash_obs.Trace.Tcp_fast_hit
+
+let note_miss () =
+  if Ash_obs.Trace.enabled () then
+    Ash_obs.Trace.emit Ash_obs.Trace.Tcp_fast_miss
+
 let program cfg =
   let b = Builder.create ~name:"tcp-fastpath" () in
   let abort_l = Builder.fresh_label b in

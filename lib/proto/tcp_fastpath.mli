@@ -35,3 +35,10 @@ type config = {
 }
 
 val program : config -> Ash_vm.Program.t
+
+val note_hit : unit -> unit
+(** Emit a [Tcp_fast_hit] trace event (fast-path handler committed). *)
+
+val note_miss : unit -> unit
+(** Emit a [Tcp_fast_miss] trace event (segment fell back to the
+    user-level library). *)

@@ -69,12 +69,19 @@ type t = {
   mutable live : int;
 }
 
-let create () = { heap = Heap.create (); clock = 0; next_seq = 0; live = 0 }
+let create () =
+  let t = { heap = Heap.create (); clock = 0; next_seq = 0; live = 0 } in
+  (* Trace events are stamped with this engine's virtual clock (last
+     engine created wins; experiments use one engine per run). *)
+  Ash_obs.Trace.set_clock (fun () -> t.clock);
+  t
 
 let now t = t.clock
 
 let schedule_at t ~at action =
   if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  if Ash_obs.Trace.enabled () then
+    Ash_obs.Trace.emit (Ash_obs.Trace.Ev_scheduled { at });
   let e = { time = at; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
@@ -101,6 +108,8 @@ let step t =
     else begin
       t.live <- t.live - 1;
       t.clock <- e.time;
+      if Ash_obs.Trace.enabled () then
+        Ash_obs.Trace.emit Ash_obs.Trace.Ev_fired;
       e.action ();
       true
     end

@@ -104,6 +104,25 @@ let run env ?(regs_init = []) (p : Program.t) =
       env.send frame
   in
   let finish outcome =
+    if Ash_obs.Trace.enabled () then begin
+      let outcome_str, violation =
+        match outcome with
+        | Committed -> ("commit", None)
+        | Aborted -> ("abort", None)
+        | Returned -> ("return", None)
+        | Killed v -> ("kill", Some v)
+      in
+      Ash_obs.Trace.emit
+        (Ash_obs.Trace.Vm_run
+           { name = p.Program.name; outcome = outcome_str; insns = !insns;
+             check_insns = !check_insns; cycles = spent () });
+      match violation with
+      | Some v ->
+        Ash_obs.Trace.emit
+          (Ash_obs.Trace.Sandbox_violation
+             { reason = Format.asprintf "%a" Isa.pp_violation v })
+      | None -> ()
+    end;
     {
       outcome;
       insns = !insns;

@@ -1,0 +1,407 @@
+(* Differential properties.
+
+   1. Random verified VM programs behave identically whether run raw or
+      after sandboxing: same outcome, same architectural registers, same
+      memory effects. The only permitted difference is the sandbox's own
+      machinery (check instructions, extra cycles, the reserved r31).
+
+   2. Random DILP pipe stacks, compiled to one fused traversal, produce
+      byte-for-byte the result of applying the same pipes one sequential
+      pass at a time — including checksum accumulator outputs, checked
+      against both a host-level reference and the machine-charged
+      baselines in Ash_pipes.Baseline. *)
+
+module Isa = Ash_vm.Isa
+module Program = Ash_vm.Program
+module Verify = Ash_vm.Verify
+module Sandbox = Ash_vm.Sandbox
+module Interp = Ash_vm.Interp
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+module Rng = Ash_util.Rng
+module Checksum = Ash_util.Checksum
+module Bytesx = Ash_util.Bytesx
+module Pipe = Ash_pipes.Pipe
+module Pipelib = Ash_pipes.Pipelib
+module Dilp = Ash_pipes.Dilp
+module Baseline = Ash_pipes.Baseline
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: sandboxed vs unsafe VM execution                            *)
+(* ------------------------------------------------------------------ *)
+
+let msg_len = 64
+let scratch_len = 256
+
+(* Memory allocation is deterministic, so two fixtures built the same
+   way give handlers identical addresses: runs are comparable and any
+   divergence is the sandbox's fault, not layout noise. *)
+let fixture seed =
+  let machine = Machine.create Costs.decstation in
+  let mem = Machine.mem machine in
+  let msg = Memory.alloc mem ~name:"msg" msg_len in
+  let scratch = Memory.alloc mem ~name:"scratch" scratch_len in
+  let payload = Bytes.create msg_len in
+  Rng.fill_bytes (Rng.create seed) payload;
+  Memory.blit_from_bytes mem ~src:payload ~src_off:0 ~dst:msg.Memory.base
+    ~len:msg_len;
+  (machine, msg, scratch)
+
+(* Random program over a restricted, safe subset: ALU ops on r1-r8,
+   loads/stores confined to the scratch region through base register r9,
+   message reads through kernel calls with in-range immediates, and
+   forward-only branches (so every program terminates). Slot [n-1] is a
+   random terminator; the verifier must accept everything we generate. *)
+let gen_program rng ~scratch_base =
+  let n = 6 + Rng.int rng 28 in
+  let code = Array.make n (Isa.Mov (1, 1)) in
+  code.(0) <- Isa.Li (9, scratch_base);
+  let rd () = 1 + Rng.int rng 8 in
+  let rs () = Rng.int rng 9 (* r0 included: reads zero *) in
+  let i = ref 1 in
+  while !i < n - 1 do
+    let slot = !i in
+    (match Rng.int rng 12 with
+     | 0 -> code.(slot) <- Isa.Li (rd (), Rng.int rng 0x10000)
+     | 1 ->
+       let op =
+         match Rng.int rng 7 with
+         | 0 -> Isa.Add (rd (), rs (), rs ())
+         | 1 -> Isa.Sub (rd (), rs (), rs ())
+         | 2 -> Isa.Mul (rd (), rs (), rs ())
+         | 3 -> Isa.And_ (rd (), rs (), rs ())
+         | 4 -> Isa.Or_ (rd (), rs (), rs ())
+         | 5 -> Isa.Xor_ (rd (), rs (), rs ())
+         | _ -> Isa.Sltu (rd (), rs (), rs ())
+       in
+       code.(slot) <- op
+     | 2 ->
+       let op =
+         match Rng.int rng 4 with
+         | 0 -> Isa.Addi (rd (), rs (), Rng.int rng 512 - 256)
+         | 1 -> Isa.Andi (rd (), rs (), Rng.int rng 0x10000)
+         | 2 -> Isa.Ori (rd (), rs (), Rng.int rng 0x10000)
+         | _ -> Isa.Xori (rd (), rs (), Rng.int rng 0x10000)
+       in
+       code.(slot) <- op
+     | 3 ->
+       code.(slot) <-
+         (if Rng.int rng 2 = 0 then Isa.Sll (rd (), rs (), Rng.int rng 32)
+          else Isa.Srl (rd (), rs (), Rng.int rng 32))
+     | 4 ->
+       code.(slot) <-
+         (match Rng.int rng 3 with
+          | 0 -> Isa.Cksum32 (rd (), rs ())
+          | 1 -> Isa.Bswap16 (rd (), rs ())
+          | _ -> Isa.Bswap32 (rd (), rs ()))
+     | 5 | 6 ->
+       (* Scratch access, always in bounds, width-aligned offsets. *)
+       let w = [| 1; 2; 4 |].(Rng.int rng 3) in
+       let off = w * Rng.int rng (scratch_len / w) in
+       code.(slot) <-
+         (match (w, Rng.int rng 2) with
+          | 1, 0 -> Isa.Ld8 (rd (), 9, off)
+          | 1, _ -> Isa.St8 (rs (), 9, off)
+          | 2, 0 -> Isa.Ld16 (rd (), 9, off)
+          | 2, _ -> Isa.St16 (rs (), 9, off)
+          | _, 0 -> Isa.Ld32 (rd (), 9, off)
+          | _, _ -> Isa.St32 (rs (), 9, off))
+     | 7 when slot + 2 < n ->
+       (* Message read through the trusted kernel call: set the offset
+          argument, then call. Uses two slots. *)
+       let call, w =
+         match Rng.int rng 3 with
+         | 0 -> (Isa.K_msg_read8, 1)
+         | 1 -> (Isa.K_msg_read16, 2)
+         | _ -> (Isa.K_msg_read32, 4)
+       in
+       code.(slot) <- Isa.Li (Isa.reg_arg0, w * Rng.int rng (msg_len / w));
+       code.(slot + 1) <- Isa.Call call;
+       incr i
+     | 8 when slot + 1 < n - 1 ->
+       (* Forward-only branch: target strictly ahead, at most the
+          terminator. Termination is guaranteed by construction. *)
+       let target = slot + 1 + Rng.int rng (n - slot - 1) in
+       let a = rs () and b = rs () in
+       code.(slot) <-
+         (match Rng.int rng 4 with
+          | 0 -> Isa.Beq (a, b, target)
+          | 1 -> Isa.Bne (a, b, target)
+          | 2 -> Isa.Bltu (a, b, target)
+          | _ -> Isa.Bgeu (a, b, target))
+     | _ -> code.(slot) <- Isa.Mov (rd (), rs ()))
+    ;
+    incr i
+  done;
+  code.(n - 1) <-
+    (match Rng.int rng 3 with
+     | 0 -> Isa.Commit
+     | 1 -> Isa.Abort
+     | _ -> Isa.Halt);
+  Program.make ~name:(Printf.sprintf "diff-%d" n) code
+
+let allowed = Isa.[ K_msg_read8; K_msg_read16; K_msg_read32 ]
+
+let run_on (machine, msg, _scratch) program =
+  let env =
+    {
+      Interp.machine;
+      msg_addr = msg.Memory.base;
+      msg_len;
+      allowed_calls = allowed;
+      dilp = (fun ~id:_ ~src:_ ~dst:_ ~len:_ ~regs:_ -> false);
+      send = ignore;
+      gas_cycles = Interp.default_gas;
+    }
+  in
+  Interp.run env program
+
+let region_contents (machine, _, _) (r : Memory.region) =
+  Memory.read_string (Machine.mem machine) ~addr:r.Memory.base ~len:r.Memory.len
+
+let prop_sandboxed_equals_unsafe =
+  QCheck.Test.make ~name:"sandboxed and unsafe runs agree" ~count:150
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let fa = fixture seed and fb = fixture seed in
+      let _, _, sa = fa and _, _, sb = fb in
+      assert (sa.Memory.base = sb.Memory.base);
+      let p = gen_program rng ~scratch_base:sa.Memory.base in
+      (match Verify.check ~allowed_calls:allowed p with
+       | Ok _ -> ()
+       | Error e ->
+         QCheck.Test.fail_reportf "generated program rejected: %a"
+           Verify.pp_error e);
+      let unsafe = run_on fa p in
+      let sandboxed_p, _ = Sandbox.apply p in
+      let sand = run_on fb sandboxed_p in
+      if unsafe.Interp.outcome <> sand.Interp.outcome then
+        QCheck.Test.fail_report "outcomes differ";
+      (* r31 is the sandbox's reserved register; everything the program
+         can architecturally touch must match. *)
+      for r = 0 to 30 do
+        if unsafe.Interp.regs.(r) <> sand.Interp.regs.(r) then
+          QCheck.Test.fail_reportf "r%d differs: %d vs %d" r
+            unsafe.Interp.regs.(r)
+            sand.Interp.regs.(r)
+      done;
+      if region_contents fa sa <> region_contents fb sb then
+        QCheck.Test.fail_report "scratch memory diverged";
+      if unsafe.Interp.check_insns <> 0 then
+        QCheck.Test.fail_report "unsafe run executed check instructions";
+      (match sand.Interp.outcome with
+       | Interp.Killed _ -> ()
+       | Interp.Committed | Interp.Aborted | Interp.Returned ->
+         if sand.Interp.check_insns = 0 then
+           QCheck.Test.fail_report
+             "sandboxed run reached an exit without check instructions");
+      true)
+
+let prop_sandbox_adds_static_checks =
+  QCheck.Test.make ~name:"check_insns is 0 iff unsafe (statically too)"
+    ~count:80 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1000) in
+      let _, _, scratch = fixture seed in
+      let p = gen_program rng ~scratch_base:scratch.Memory.base in
+      let sp, stats = Sandbox.apply p in
+      Program.static_check_count p = 0
+      && Program.static_check_count sp > 0
+      && stats.Sandbox.added > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: fused DILP vs sequential per-pass application               *)
+(* ------------------------------------------------------------------ *)
+
+type pd = Cksum | Bswap32 | Bswap16 | Xor of int | Count | Ident | Add8 of int
+
+let pd_name = function
+  | Cksum -> "cksum"
+  | Bswap32 -> "bswap32"
+  | Bswap16 -> "bswap16"
+  | Xor _ -> "xor"
+  | Count -> "count"
+  | Ident -> "ident"
+  | Add8 _ -> "add8"
+
+let gen_stack rng =
+  let len = 1 + Rng.int rng 4 in
+  List.init len (fun _ ->
+      match Rng.int rng 7 with
+      | 0 -> Cksum
+      | 1 -> Bswap32
+      | 2 -> Bswap16
+      | 3 -> Xor (Rng.int rng 0x10000 lor (Rng.int rng 0x10000 lsl 16))
+      | 4 -> Count
+      | 5 -> Ident
+      | _ -> Add8 (Rng.int rng 256))
+
+(* Host-level sequential reference: apply each pipe as its own pass over
+   the whole buffer, exactly what a nonintegrated protocol stack does. *)
+let host_word_map f buf =
+  let out = Bytes.copy buf in
+  for k = 0 to (Bytes.length buf / 4) - 1 do
+    Bytesx.set_u32 out (4 * k) (f (Bytesx.get_u32 buf (4 * k)))
+  done;
+  out
+
+let bswap16_lanes w =
+  (Bytesx.bswap16 (w lsr 16) lsl 16) lor Bytesx.bswap16 (w land 0xffff)
+
+let host_reference stack buf =
+  (* Returns the final buffer plus the expected accumulator value (as a
+     check list in stack order) for stateful pipes. *)
+  List.fold_left
+    (fun (cur, accs) pd ->
+       match pd with
+       | Cksum ->
+         let sum = Checksum.sum32 cur ~off:0 ~len:(Bytes.length cur) in
+         (cur, accs @ [ Checksum.fold32_to16 sum ])
+       | Bswap32 -> (host_word_map Bytesx.bswap32 cur, accs)
+       | Bswap16 -> (host_word_map bswap16_lanes cur, accs)
+       | Xor key -> (host_word_map (fun w -> w lxor key) cur, accs)
+       | Count -> (cur, accs @ [ Bytes.length cur / 4 ])
+       | Ident -> (cur, accs)
+       | Add8 c ->
+         let out = Bytes.copy cur in
+         Bytes.iteri
+           (fun i b -> Bytes.set out i (Char.chr ((Char.code b + c) land 0xff)))
+           cur;
+         (out, accs))
+    (buf, []) stack
+
+let prop_dilp_matches_sequential =
+  QCheck.Test.make ~name:"fused DILP = sequential per-pass reference"
+    ~count:120 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      let stack = gen_stack rng in
+      let len = 4 * (1 + Rng.int rng 128) in
+      let payload = Bytes.create len in
+      Rng.fill_bytes rng payload;
+      (* Build the pipe list; collect persistent registers and inits. *)
+      let pl = Pipe.Pipelist.create () in
+      let tracked =
+        (* Left-to-right fold: pipes must be added in stack order. *)
+        List.rev
+          (List.fold_left
+             (fun acc pd ->
+                let t =
+                  match pd with
+                  | Cksum ->
+                    let _, r = Pipelib.cksum32 pl in
+                    Some (r, 0)
+                  | Bswap32 ->
+                    ignore (Pipelib.byteswap32 pl);
+                    None
+                  | Bswap16 ->
+                    ignore (Pipelib.byteswap16 pl);
+                    None
+                  | Xor key ->
+                    let _, r = Pipelib.xor_cipher pl in
+                    Some (r, key)
+                  | Count ->
+                    let _, r = Pipelib.word_count pl in
+                    Some (r, 0)
+                  | Ident ->
+                    ignore (Pipelib.identity pl);
+                    None
+                  | Add8 c ->
+                    ignore (Pipelib.add_const8 pl c);
+                    None
+                in
+                (pd, t) :: acc)
+             [] stack)
+      in
+      let compiled = Dilp.compile pl Dilp.Write in
+      let machine = Machine.create Costs.decstation in
+      let mem = Machine.mem machine in
+      let src = Memory.alloc mem ~name:"src" len in
+      let dst = Memory.alloc mem ~name:"dst" len in
+      Memory.blit_from_bytes mem ~src:payload ~src_off:0 ~dst:src.Memory.base
+        ~len;
+      let init =
+        List.filter_map (fun (_, t) -> Option.map (fun (r, v) -> (r, v)) t)
+          tracked
+      in
+      let regs =
+        Dilp.execute_exn ~init machine compiled ~src:src.Memory.base
+          ~dst:dst.Memory.base ~len
+      in
+      let expected_buf, expected_accs = host_reference stack payload in
+      let got =
+        Memory.read_string mem ~addr:dst.Memory.base ~len
+      in
+      if got <> Bytes.to_string expected_buf then
+        QCheck.Test.fail_reportf "fused output differs for stack [%s] len=%d"
+          (String.concat ";" (List.map pd_name stack))
+          len;
+      (* Stateful pipes: compare accumulators in stack order. *)
+      let got_accs =
+        List.filter_map
+          (fun (pd, t) ->
+             match (pd, t) with
+             | Cksum, Some (r, _) -> Some (Checksum.fold32_to16 regs.(r))
+             | Count, Some (r, _) -> Some regs.(r)
+             | _ -> None)
+          tracked
+      in
+      if got_accs <> expected_accs then
+        QCheck.Test.fail_reportf "accumulators differ for stack [%s]"
+          (String.concat ";" (List.map pd_name stack));
+      true)
+
+(* The focused cross-check against the machine-charged baselines: the
+   fused cksum+byteswap transfer must agree with Baseline.copy +
+   Baseline.cksum16_pass + Baseline.byteswap_pass run as separate
+   passes on a second, identically laid out machine. *)
+let prop_dilp_matches_baseline_passes =
+  QCheck.Test.make ~name:"fused cksum+bswap = Baseline sequential passes"
+    ~count:60 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let len = 4 * (1 + Rng.int rng 256) in
+      let payload = Bytes.create len in
+      Rng.fill_bytes rng payload;
+      let setup () =
+        let machine = Machine.create Costs.decstation in
+        let mem = Machine.mem machine in
+        let src = Memory.alloc mem ~name:"src" len in
+        let dst = Memory.alloc mem ~name:"dst" len in
+        Memory.blit_from_bytes mem ~src:payload ~src_off:0
+          ~dst:src.Memory.base ~len;
+        (machine, mem, src, dst)
+      in
+      (* Fused single pass. *)
+      let ma, mema, srca, dsta = setup () in
+      let pl = Pipe.Pipelist.create () in
+      let _, acc = Pipelib.cksum32 pl in
+      ignore (Pipelib.byteswap32 pl);
+      let compiled = Dilp.compile pl Dilp.Write in
+      let regs =
+        Dilp.execute_exn ~init:[ (acc, 0) ] ma compiled ~src:srca.Memory.base
+          ~dst:dsta.Memory.base ~len
+      in
+      let fused_cksum = Checksum.fold32_to16 regs.(acc) in
+      let fused_bytes = Memory.read_string mema ~addr:dsta.Memory.base ~len in
+      (* Sequential baseline passes (checksum sees pre-swap data, like
+         the pipe stack order). *)
+      let mb, memb, srcb, dstb = setup () in
+      Baseline.copy mb ~src:srcb.Memory.base ~dst:dstb.Memory.base ~len;
+      let seq_cksum = Baseline.cksum16_pass mb ~addr:dstb.Memory.base ~len in
+      Baseline.byteswap_pass mb ~addr:dstb.Memory.base ~len;
+      let seq_bytes = Memory.read_string memb ~addr:dstb.Memory.base ~len in
+      fused_cksum = seq_cksum && fused_bytes = seq_bytes)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "vm",
+        [
+          QCheck_alcotest.to_alcotest prop_sandboxed_equals_unsafe;
+          QCheck_alcotest.to_alcotest prop_sandbox_adds_static_checks;
+        ] );
+      ( "dilp",
+        [
+          QCheck_alcotest.to_alcotest prop_dilp_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_dilp_matches_baseline_passes;
+        ] );
+    ]

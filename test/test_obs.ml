@@ -1,0 +1,210 @@
+(* Unit tests for Ash_obs: the trace sink, the bounded recorder ring,
+   derived counters/histograms, and the text/JSON dumps. *)
+
+module Trace = Ash_obs.Trace
+module Metrics = Ash_obs.Metrics
+module Dump = Ash_obs.Dump
+
+(* Every test leaves the global sink uninstalled and the clock at the
+   default; run them through this wrapper to be safe against failures
+   mid-test. *)
+let isolated f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.clear_sink ();
+      Trace.set_clock (fun () -> 0))
+    f
+
+let test_null_sink_is_off () =
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  (* Emitting without a sink must be a harmless no-op. *)
+  Trace.emit (Trace.Mark "nobody listening")
+
+let test_record_enables () =
+  let r = Trace.record () in
+  Alcotest.(check bool) "enabled" true (Trace.enabled ());
+  Trace.emit (Trace.Mark "a");
+  Trace.stop r;
+  Alcotest.(check bool) "disabled after stop" false (Trace.enabled ());
+  Trace.emit (Trace.Mark "b");
+  Alcotest.(check int) "stop froze the recorder" 1 (Trace.total r)
+
+let test_ring_bounds () =
+  let r = Trace.record ~capacity:8 () in
+  for i = 0 to 19 do
+    Trace.emit (Trace.Mark (string_of_int i))
+  done;
+  Trace.stop r;
+  Alcotest.(check int) "total" 20 (Trace.total r);
+  Alcotest.(check int) "dropped" 12 (Trace.dropped r);
+  let evs = Trace.events r in
+  Alcotest.(check int) "retained" 8 (List.length evs);
+  (* Oldest-first, and the survivors are the most recent 8. *)
+  Alcotest.(check (list int)) "seq window"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Trace.seq) evs);
+  List.iteri
+    (fun i e ->
+       Alcotest.(check string)
+         (Printf.sprintf "payload %d" i)
+         (string_of_int (12 + i))
+         (match e.Trace.kind with Trace.Mark s -> s | _ -> "?"))
+    evs
+
+let test_no_drop_under_capacity () =
+  let r = Trace.record ~capacity:16 () in
+  for _ = 1 to 5 do
+    Trace.emit Trace.Ev_fired
+  done;
+  Trace.stop r;
+  Alcotest.(check int) "total" 5 (Trace.total r);
+  Alcotest.(check int) "dropped" 0 (Trace.dropped r);
+  Alcotest.(check int) "events" 5 (List.length (Trace.events r))
+
+let test_clock_stamps () =
+  let t = ref 100 in
+  Trace.set_clock (fun () -> !t);
+  let r = Trace.record () in
+  Trace.emit (Trace.Mark "first");
+  t := 250;
+  Trace.emit (Trace.Mark "second");
+  Trace.stop r;
+  (match Trace.events r with
+   | [ a; b ] ->
+     Alcotest.(check int) "ts 1" 100 a.Trace.ts;
+     Alcotest.(check int) "ts 2" 250 b.Trace.ts
+   | _ -> Alcotest.fail "expected two events")
+
+let test_counters_derived () =
+  let r = Trace.record () in
+  Trace.emit (Trace.Ash_dispatch { id = 1; vc = 7 });
+  Trace.emit (Trace.Ash_commit { id = 1 });
+  Trace.emit (Trace.Ash_dispatch { id = 1; vc = 7 });
+  Trace.emit (Trace.Ash_abort { id = 1 });
+  Trace.emit (Trace.Pkt_drop { nic = "an2"; reason = "crc" });
+  Trace.emit (Trace.Dpf_eval { compiled = true; matched = true });
+  Trace.emit (Trace.Dpf_eval { compiled = false; matched = false });
+  Trace.stop r;
+  let m = Trace.metrics r in
+  Alcotest.(check int) "dispatch" 2 (Metrics.counter m "ash.dispatch");
+  Alcotest.(check int) "commit" 1 (Metrics.counter m "ash.commit");
+  Alcotest.(check int) "abort" 1 (Metrics.counter m "ash.abort");
+  Alcotest.(check int) "drop" 1 (Metrics.counter m "pkt.drop.an2.crc");
+  Alcotest.(check int) "dpf compiled" 1 (Metrics.counter m "dpf.eval.compiled");
+  Alcotest.(check int) "dpf matched" 1 (Metrics.counter m "dpf.eval.matched");
+  Alcotest.(check int) "dpf rejected" 1 (Metrics.counter m "dpf.eval.rejected");
+  Alcotest.(check int) "unknown reads 0" 0 (Metrics.counter m "no.such")
+
+let test_histograms_derived () =
+  let r = Trace.record () in
+  List.iter
+    (fun c ->
+       Trace.emit
+         (Trace.Vm_run
+            { name = "h"; outcome = "commit"; insns = 10; check_insns = 0;
+              cycles = c }))
+    [ 10; 20; 30; 40 ];
+  Trace.stop r;
+  match Metrics.histogram (Trace.metrics r) "vm.cycles" with
+  | None -> Alcotest.fail "vm.cycles histogram missing"
+  | Some s ->
+    Alcotest.(check int) "count" 4 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "min" 10. s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 40. s.Metrics.max;
+    Alcotest.(check (float 1e-9)) "mean" 25. s.Metrics.mean
+
+let test_summary_edge_cases () =
+  Alcotest.(check bool) "empty is None" true (Metrics.summary_of [] = None);
+  (match Metrics.summary_of [ 5. ] with
+   | None -> Alcotest.fail "single sample"
+   | Some s ->
+     Alcotest.(check (float 1e-9)) "p50 = sample" 5. s.Metrics.p50;
+     Alcotest.(check (float 1e-9)) "p99 = sample" 5. s.Metrics.p99;
+     Alcotest.(check (float 1e-9)) "min = max" s.Metrics.min s.Metrics.max);
+  match Metrics.summary_of [ 3.; 3.; 3.; 3. ] with
+  | None -> Alcotest.fail "all equal"
+  | Some s ->
+    Alcotest.(check (float 1e-9)) "p50" 3. s.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "p90" 3. s.Metrics.p90;
+    Alcotest.(check (float 1e-9)) "mean" 3. s.Metrics.mean
+
+let test_clear () =
+  let r = Trace.record () in
+  Trace.emit (Trace.Mark "x");
+  Trace.clear r;
+  Alcotest.(check int) "total reset" 0 (Trace.total r);
+  Alcotest.(check bool) "still recording" true (Trace.enabled ());
+  Trace.emit (Trace.Mark "y");
+  Trace.stop r;
+  Alcotest.(check int) "records again" 1 (Trace.total r)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_text_dump () =
+  let r = Trace.record () in
+  Trace.emit (Trace.Ash_dispatch { id = 3; vc = 9 });
+  Trace.emit (Trace.Dilp_run { name = "dilp:test"; len = 64 });
+  Trace.stop r;
+  let s = Format.asprintf "%a" (Dump.pp_recorder ?max_events:None) r in
+  Alcotest.(check bool) "has dispatch" true (contains s "ash.dispatch");
+  Alcotest.(check bool) "has dilp" true (contains s "dilp.run");
+  Alcotest.(check bool) "has counters" true (contains s "counters")
+
+let test_json_dump () =
+  let r = Trace.record () in
+  Trace.emit (Trace.Pkt_tx { nic = "an2"; bytes = 128 });
+  Trace.emit (Trace.Mark "quote\"me");
+  Trace.stop r;
+  let s = Dump.to_json r in
+  Alcotest.(check bool) "object" true
+    (String.length s > 1 && s.[0] = '{' && s.[String.length s - 1] = '}');
+  Alcotest.(check bool) "total field" true (contains s "\"total\":2");
+  Alcotest.(check bool) "event label" true (contains s "pkt.tx");
+  Alcotest.(check bool) "escaped quote" true (contains s "quote\\\"me");
+  (* Balanced braces/brackets: a cheap well-formedness proxy. *)
+  let bal c o = String.fold_left (fun n ch -> if ch = o then n + 1
+                                   else if ch = c then n - 1 else n) 0 s in
+  Alcotest.(check int) "braces" 0 (bal '}' '{');
+  Alcotest.(check int) "brackets" 0 (bal ']' '[')
+
+let test_labels_stable () =
+  Alcotest.(check string) "dispatch" "ash.dispatch"
+    (Trace.label (Trace.Ash_dispatch { id = 0; vc = 0 }));
+  Alcotest.(check string) "dpf" "dpf.eval"
+    (Trace.label (Trace.Dpf_eval { compiled = true; matched = false }));
+  Alcotest.(check string) "tcp hit" "tcp.fast.hit" (Trace.label Trace.Tcp_fast_hit)
+
+let () =
+  Alcotest.run "ash_obs"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "null sink" `Quick (isolated test_null_sink_is_off);
+          Alcotest.test_case "record/stop" `Quick (isolated test_record_enables);
+          Alcotest.test_case "clock stamps" `Quick (isolated test_clock_stamps);
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "bounded" `Quick (isolated test_ring_bounds);
+          Alcotest.test_case "under capacity" `Quick
+            (isolated test_no_drop_under_capacity);
+          Alcotest.test_case "clear" `Quick (isolated test_clear);
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick (isolated test_counters_derived);
+          Alcotest.test_case "histograms" `Quick
+            (isolated test_histograms_derived);
+          Alcotest.test_case "summary edges" `Quick
+            (isolated test_summary_edge_cases);
+        ] );
+      ( "dump",
+        [
+          Alcotest.test_case "text" `Quick (isolated test_text_dump);
+          Alcotest.test_case "json" `Quick (isolated test_json_dump);
+          Alcotest.test_case "labels" `Quick (isolated test_labels_stable);
+        ] );
+    ]

@@ -227,6 +227,111 @@ let prop_bswap32_involutive =
        let v = v * 131 land 0xffff_ffff in
        Bytesx.bswap32 (Bytesx.bswap32 v) = v)
 
+(* One's-complement checksums have two representations of zero (0x0000
+   and 0xffff); incremental update can land on either, so properties
+   compare modulo that class, as RFC 1624 §3 discusses. *)
+let cksum_equiv a b =
+  a = b || (a land 0xffff = 0 || a land 0xffff = 0xffff)
+           && (b land 0xffff = 0 || b land 0xffff = 0xffff)
+
+let prop_cksum_incremental_update =
+  (* RFC 1624 Eqn. 3: HC' = ~(~HC + ~m + m') when one 16-bit field
+     changes from m to m'. Must agree with full recomputation. *)
+  QCheck.Test.make ~name:"rfc1624 incremental update = full recompute"
+    ~count:300
+    QCheck.(triple (bytes_of_size (Gen.int_range 2 128)) small_nat
+              (int_bound 0xffff))
+    (fun (s, widx, m') ->
+       let b = Bytes.of_string (Bytes.to_string s) in
+       let len = Bytes.length b land lnot 1 in
+       QCheck.assume (len >= 2);
+       let widx = 2 * (widx mod (len / 2)) in
+       let hc = Checksum.checksum b ~off:0 ~len in
+       let m = Bytesx.get_u16 b widx in
+       Bytesx.set_u16 b widx m';
+       let direct = Checksum.checksum b ~off:0 ~len in
+       let incremental =
+         lnot
+           (Checksum.fold16
+              ((lnot hc land 0xffff) + (lnot m land 0xffff) + m'))
+         land 0xffff
+       in
+       cksum_equiv incremental direct)
+
+let prop_cksum_odd_is_zero_padded =
+  (* RFC 1071: an odd trailing byte acts as the high byte of a final
+     word whose low byte is zero. *)
+  QCheck.Test.make ~name:"odd-length checksum = zero-padded even checksum"
+    ~count:300
+    QCheck.(bytes_of_size (Gen.int_range 1 129))
+    (fun s ->
+       let b = Bytes.of_string (Bytes.to_string s) in
+       let len = Bytes.length b in
+       QCheck.assume (len land 1 = 1);
+       let padded = Bytes.extend b 0 1 in
+       Bytes.set padded len '\000';
+       Checksum.checksum b ~off:0 ~len
+       = Checksum.checksum padded ~off:0 ~len:(len + 1))
+
+let prop_cksum_byteswap_commutes =
+  (* Swapping the bytes of every 16-bit word byteswaps the checksum:
+     one's-complement addition is rotation-invariant. This is why the
+     checksum can be computed in either byte order and fixed up last. *)
+  QCheck.Test.make ~name:"checksum of byte-swapped data = bswap16 of checksum"
+    ~count:300
+    QCheck.(bytes_of_size (Gen.int_range 1 64))
+    (fun s ->
+       let words = Bytes.length s in
+       let b = Bytes.create (2 * words) in
+       Bytes.blit s 0 b 0 words;
+       Bytes.blit s 0 b words words;
+       let len = 2 * (Bytes.length b / 2) in
+       QCheck.assume (len >= 2);
+       let swapped = Bytes.create len in
+       for k = 0 to (len / 2) - 1 do
+         Bytesx.set_u16 swapped (2 * k)
+           (Bytesx.bswap16 (Bytesx.get_u16 b (2 * k)))
+       done;
+       cksum_equiv
+         (Checksum.checksum swapped ~off:0 ~len)
+         (Bytesx.bswap16 (Checksum.checksum b ~off:0 ~len)))
+
+let prop_endianness_roundtrip =
+  QCheck.Test.make ~name:"u16/u32 store-load round-trips, both endians"
+    ~count:300
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffffff))
+    (fun (v16, v24) ->
+       let v32 = (v24 * 257) land 0xffff_ffff in
+       let b = Bytes.create 12 in
+       Bytesx.set_u16 b 0 v16;
+       Bytesx.set_u32 b 4 v32;
+       Bytesx.set_u32_le b 8 v32;
+       Bytesx.get_u16 b 0 = v16
+       && Bytesx.get_u32 b 4 = v32
+       && Bytesx.get_u32_le b 8 = v32
+       (* Big- and little-endian images of the same value are mutual
+          byte reversals. *)
+       && Bytesx.get_u32_le b 4 = Bytesx.bswap32 v32)
+
+let test_percentile_edges () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile 50. []));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: out of range") (fun () ->
+      ignore (Stats.percentile 101. [ 1. ]));
+  (* A single sample is every percentile. *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "single p%.0f" p) 8.5
+        (Stats.percentile p [ 8.5 ]))
+    [ 0.; 50.; 90.; 99.; 100. ];
+  (* All-equal samples: every percentile is that value. *)
+  let xs = [ 3.; 3.; 3.; 3.; 3. ] in
+  List.iter
+    (fun p -> check_float (Printf.sprintf "all-equal p%.0f" p) 3.
+        (Stats.percentile p xs))
+    [ 0.; 50.; 90.; 99.; 100. ]
+
 let prop_summary_mean_between_min_max =
   QCheck.Test.make ~name:"summary mean lies within [min, max]" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
@@ -246,6 +351,7 @@ let () =
           Alcotest.test_case "empty raises" `Quick test_summary_empty;
           Alcotest.test_case "ci shrinks with n" `Quick test_ci_shrinks_with_n;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
         ] );
       ( "checksum",
         [
@@ -284,5 +390,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_checksum_detects_single_bit_flip;
           QCheck_alcotest.to_alcotest prop_bswap32_involutive;
           QCheck_alcotest.to_alcotest prop_summary_mean_between_min_max;
+          QCheck_alcotest.to_alcotest prop_cksum_incremental_update;
+          QCheck_alcotest.to_alcotest prop_cksum_odd_is_zero_padded;
+          QCheck_alcotest.to_alcotest prop_cksum_byteswap_commutes;
+          QCheck_alcotest.to_alcotest prop_endianness_roundtrip;
         ] );
     ]
