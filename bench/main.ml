@@ -7,7 +7,12 @@
      main.exe                 run everything
      main.exe table5 fig3     run selected experiments
      main.exe --no-bechamel   skip the Bechamel section
-     main.exe --markdown      additionally dump Markdown for EXPERIMENTS.md *)
+     main.exe --markdown      additionally dump Markdown for EXPERIMENTS.md
+     main.exe --backend interp|compiled
+                              execution backend for downloaded code
+                              (default: compiled; simulated numbers are
+                              identical either way)
+     main.exe --no-json       don't write BENCH_results.json *)
 
 module Core = Ash_core
 module Report = Core.Report
@@ -26,6 +31,7 @@ let experiments : (string * (unit -> Report.table)) list =
     ("fig4", Core.Exp_sched.fig4);
     ("sandbox", Core.Exp_sandbox.section_vd);
     ("dpf", Core.Exp_ablate.dpf);
+    ("demux", Core.Exp_ablate.demux_scaling);
     ("dilp-scaling", Core.Exp_ilp.dilp_scaling);
     ("striped", Core.Exp_ablate.striped);
   ]
@@ -68,6 +74,8 @@ let staged_kernels : (string * (unit -> unit)) list =
     ( "dpf.demux16",
       fun () ->
         ignore (Core.Exp_ablate.demux_cycles ~compiled:true ~nfilters:16) );
+    ( "demux.trie16",
+      fun () -> ignore (Core.Exp_ablate.demux_cycles_trie ~nfilters:16) );
     ( "dilp-scaling.4pipes",
       fun () -> ignore (Core.Exp_ilp.dilp_n_pipes 4 ()) );
     ( "striped.one_pass",
@@ -94,7 +102,8 @@ let run_bechamel () =
     "@.=== Bechamel: host cost of simulation kernels (wall time per run) \
      ===@.";
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.filter_map
     (fun (name, ols_result) ->
        match Analyze.OLS.estimates ols_result with
        | Some [ est ] when est > 0. ->
@@ -104,18 +113,164 @@ let run_bechamel () =
            else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
            else Printf.sprintf "%.0f ns" est
          in
-         Format.printf "  %-32s %12s@." name pretty
-       | _ -> Format.printf "  %-32s %12s@." name "n/a")
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+         Format.printf "  %-32s %12s@." name pretty;
+         Some (name, est)
+       | _ ->
+         Format.printf "  %-32s %12s@." name "n/a";
+         None)
+    rows
+
+(* -- Backend comparison: interpreter vs closure-compiled, host time -- *)
+
+(* Direct wall-clock measurement of the two handler-heaviest kernels
+   under each execution backend. The simulated results are identical by
+   construction (test_differential enforces it); only host time moves. *)
+let backend_comparison_kernels =
+  (* Higher iteration counts than the staged kernels: handler executions
+     must dominate connection/kernel setup for the backend delta to rise
+     above scenario noise. *)
+  [
+    ( "table5.remote_increment",
+      fun () ->
+        ignore (Lab.remote_increment ~iters:16 (Lab.Srv_ash { sandbox = true }))
+    );
+    ( "table6.tcp_roundtrip",
+      fun () ->
+        ignore
+          (Lab.tcp_latency
+             ~mode:(Tcp.Fast_ash { sandbox = true })
+             ~checksum:true ~iters:16 ()) );
+  ]
+
+(* Best of three timed passes (min is the usual wall-clock estimator:
+   noise is one-sided). *)
+let time_under backend f =
+  let reps = 30 in
+  Ash_vm.Exec.with_default backend (fun () ->
+      f (); (* warm up: first run compiles / fills host caches *)
+      let pass () =
+        Gc.full_major (); (* don't bill one backend for the other's garbage *)
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          f ()
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
+      in
+      List.fold_left min (pass ()) [ pass (); pass () ])
+
+let run_backend_comparison () =
+  Format.printf
+    "@.=== Execution backends: interpreter vs closure-compiled (host \
+     wall time per run) ===@.";
+  List.map
+    (fun (name, f) ->
+       let interp_ns = time_under Ash_vm.Exec.Interpreter f in
+       let compiled_ns = time_under Ash_vm.Exec.Compiled f in
+       Format.printf "  %-32s interp %10.0f ns   compiled %10.0f ns   x%.2f@."
+         name interp_ns compiled_ns (interp_ns /. compiled_ns);
+       (name, interp_ns, compiled_ns))
+    backend_comparison_kernels
+
+(* -- BENCH_results.json ------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = Printf.sprintf "%.6g" f
+
+let write_results_json ~path ~backend ~tables ~bechamel ~backends =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"ashs-bench-results/1\",\n";
+  add "  \"backend\": \"%s\",\n" (Ash_vm.Exec.backend_name backend);
+  add "  \"tables\": {\n";
+  List.iteri
+    (fun i (id, (t : Report.table)) ->
+       add "    \"%s\": {\n" (json_escape id);
+       add "      \"title\": \"%s\",\n" (json_escape t.Report.title);
+       add "      \"rows\": [\n";
+       List.iteri
+         (fun j (r : Report.row) ->
+            add "        {\"label\": \"%s\", \"paper\": %s, \"measured\": %s, \
+                 \"unit\": \"%s\", \"deviation\": %s}%s\n"
+              (json_escape r.Report.label)
+              (match r.Report.paper with
+               | Some p -> json_float p
+               | None -> "null")
+              (json_float r.Report.measured)
+              (json_escape r.Report.unit_)
+              (match Report.deviation r with
+               | Some d -> json_float d
+               | None -> "null")
+              (if j = List.length t.Report.rows - 1 then "" else ","))
+         t.Report.rows;
+       add "      ]\n";
+       add "    }%s\n" (if i = List.length tables - 1 then "" else ","))
+    tables;
+  add "  },\n";
+  add "  \"bechamel_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+       add "    \"%s\": %s%s\n" (json_escape name) (json_float est)
+         (if i = List.length bechamel - 1 then "" else ","))
+    bechamel;
+  add "  },\n";
+  add "  \"backend_comparison_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, interp_ns, compiled_ns) ->
+       add
+         "    \"%s\": {\"interp\": %s, \"compiled\": %s, \"speedup\": %s}%s\n"
+         (json_escape name) (json_float interp_ns) (json_float compiled_ns)
+         (json_float (interp_ns /. compiled_ns))
+         (if i = List.length backends - 1 then "" else ","))
+    backends;
+  add "  }\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "@.results written to %s@." path
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_bechamel = List.mem "--no-bechamel" args in
   let markdown = List.mem "--markdown" args in
-  let selected =
-    List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
-      args
+  let no_json = List.mem "--no-json" args in
+  let backend =
+    let rec find = function
+      | "--backend" :: v :: _ -> begin
+          match Ash_vm.Exec.backend_of_string v with
+          | Some b -> b
+          | None ->
+            Format.eprintf "unknown backend %S (interp|compiled)@." v;
+            exit 2
+        end
+      | _ :: rest -> find rest
+      | [] -> Ash_vm.Exec.Compiled
+    in
+    find args
   in
+  Ash_vm.Exec.set_default backend;
+  let rec drop_flag_args = function
+    | "--backend" :: _ :: rest -> drop_flag_args rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" ->
+      drop_flag_args rest
+    | a :: rest -> a :: drop_flag_args rest
+    | [] -> []
+  in
+  let selected = drop_flag_args args in
   let to_run =
     if selected = [] then experiments
     else
@@ -147,4 +302,8 @@ let () =
     Format.printf "@.--- markdown ---@.";
     List.iter (fun (_, t) -> print_string (Report.to_markdown t)) tables
   end;
-  if not no_bechamel then run_bechamel ()
+  let bechamel = if no_bechamel then [] else run_bechamel () in
+  let backends = if no_bechamel then [] else run_backend_comparison () in
+  if not no_json then
+    write_results_json ~path:"BENCH_results.json" ~backend ~tables ~bechamel
+      ~backends

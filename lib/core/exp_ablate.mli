@@ -5,7 +5,14 @@ val demux_cycles : compiled:bool -> nfilters:int -> Ash_sim.Time.ns
 (** Worst-case demultiplexing cost of one packet against [nfilters]
     installed filters. *)
 
+val demux_cycles_trie : nfilters:int -> Ash_sim.Time.ns
+(** Same worst case through the merged filter trie ({!Ash_kern.Dpf_trie}). *)
+
 val dpf : unit -> Report.table
+
+val demux_scaling : unit -> Report.table
+(** Ablation A4: linear-scan vs merged-trie demux as installed filters
+    grow. *)
 
 val striped_one_pass : len:int -> unit -> float
 (** Microseconds for the striped DILP back end to copy+checksum [len]

@@ -1,0 +1,47 @@
+(** Merged DPF demultiplexing trie (§IV-A; DPF [19]).
+
+    All installed filters coalesce into one structure: filters whose
+    next atom reads the same [(offset, width, mask)] share a test node
+    and dispatch on the comparison value, so demultiplexing walks the
+    message once instead of running every filter's program in turn —
+    per-message cost, not per-filter.
+
+    Overlapping filters keep install-order priority: {!lookup} returns
+    the payload inserted with the lowest [prio] among all matches, the
+    same answer as running the filters linearly in install order.
+    Subtrees that cannot contain a better-priority match than one
+    already found are pruned without cost.
+
+    Cost model: the walk charges the owning machine exactly what the
+    equivalent compiled filter code (see {!Dpf.compile}) charges per
+    atom tested — including the cache-modelled field loads — so merging
+    never changes simulated numbers for a lone filter, it only removes
+    the redundant work between filters. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Number of installed filters. *)
+
+val insert : 'a t -> prio:int -> Dpf.t -> 'a -> unit
+(** Install a filter. [prio] orders overlapping matches (lower wins);
+    the kernel uses install order. Incremental: no rebuild. *)
+
+val remove : 'a t -> prio:int -> Dpf.t -> unit
+(** Remove the filter installed with exactly this [prio] along this
+    atom list; emptied branches are pruned. Removing an absent filter
+    still decrements {!size} only if it was counted — callers pass the
+    same (prio, atoms) they inserted. *)
+
+val lookup :
+  'a t -> Ash_sim.Machine.t -> msg_addr:int -> msg_len:int -> 'a option
+(** Demultiplex a message in machine memory, charging the walk to the
+    machine (see the cost model above). Fields beyond [msg_len] reject
+    the branch, mirroring the compiled filter's bound-check kill. *)
+
+val find : 'a t -> Bytes.t -> 'a option
+(** Pure reference semantics over raw bytes (for tests): no machine,
+    no charging. Agrees with running {!Dpf.matches} over the filters in
+    priority order. *)

@@ -7,6 +7,7 @@ module Program = Ash_vm.Program
 module Verify = Ash_vm.Verify
 module Sandbox = Ash_vm.Sandbox
 module Interp = Ash_vm.Interp
+module Exec = Ash_vm.Exec
 module Dilp = Ash_pipes.Dilp
 module An2 = Ash_nic.An2
 module Ethernet = Ash_nic.Ethernet
@@ -33,13 +34,27 @@ type stats = {
 }
 
 type ash = {
-  program : Program.t;
+  exec : Exec.prepared;
   sandboxed : bool;
   hardwired : bool;
   allowed : Isa.kcall list;
   sb_stats : Sandbox.stats option;
   mutable last : Interp.result option;
 }
+
+(* Download-time handler cache entry: the verified + sandboxed program
+   and its (shared) prepared execution artifact. Keyed by the digest of
+   the program as submitted plus everything that changes the artifact:
+   the sandbox flag and the allowed-calls policy (which gates
+   verification). *)
+type cached_handler = {
+  c_sb_stats : Sandbox.stats option;
+  c_exec : Exec.prepared;
+}
+
+type cache_key = string * bool * Isa.kcall list
+
+type cache_stats = { hits : int; misses : int; entries : int }
 
 type binding = {
   bvc : int;
@@ -52,8 +67,11 @@ type binding = {
   mutable ash_budget : int option;
   mutable ash_tick_start : Ash_sim.Time.ns;
   mutable ash_ran_this_tick : int;
-  filter : (Dpf.t * Program.t option) option; (* Ethernet bindings only *)
+  filter : (Dpf.t * Exec.prepared option) option; (* Ethernet bindings only *)
+  prio : int; (* install order; lower wins on overlapping eth filters *)
 }
+
+type demux = Demux_linear | Demux_trie
 
 type tx_target = Tx_an2 of int | Tx_eth
 
@@ -62,15 +80,26 @@ type t = {
   costs : Costs.t;
   machine : Machine.t;
   kname : string;
+  backend : Exec.backend;
+  mutable demux : demux;
   mutable an2 : An2.t option;
   mutable eth : Ethernet.t option;
   ashes : (int, ash) Hashtbl.t;
   mutable next_ash : int;
+  handler_cache : (cache_key, cached_handler) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   dilps : (int, Dilp.compiled) Hashtbl.t;
   mutable next_dilp : int;
   bindings : (int, binding) Hashtbl.t;
-  mutable eth_bindings : binding list; (* install order *)
+  mutable eth_rev : binding list; (* reverse install order *)
+  mutable eth_order : binding list option; (* memoised install order *)
+  eth_trie : binding Dpf_trie.t;
+  mutable eth_interp_count : int;
+  (* Bindings using the interpreted filter engine (ablation A1) force
+     the linear scan: the trie models merged *compiled* filters. *)
   mutable next_eth_vc : int;
+  mutable next_eth_prio : int;
   mutable app_state : app_state;
   mutable sched : Sched.t option;
   mutable app_proc : Sched.proc option;
@@ -91,21 +120,33 @@ type t = {
   mutable s_tx : int;
 }
 
-let create engine costs ~name =
+let create ?backend ?(demux = Demux_trie) engine costs ~name =
+  let backend =
+    match backend with Some b -> b | None -> Exec.default ()
+  in
   {
     engine;
     costs;
     machine = Machine.create costs;
     kname = name;
+    backend;
+    demux;
     an2 = None;
     eth = None;
     ashes = Hashtbl.create 8;
     next_ash = 0;
+    handler_cache = Hashtbl.create 8;
+    cache_hits = 0;
+    cache_misses = 0;
     dilps = Hashtbl.create 8;
     next_dilp = 0;
     bindings = Hashtbl.create 8;
-    eth_bindings = [];
+    eth_rev = [];
+    eth_order = None;
+    eth_trie = Dpf_trie.create ();
+    eth_interp_count = 0;
     next_eth_vc = 10_000;
+    next_eth_prio = 0;
     app_state = Polling;
     sched = None;
     app_proc = None;
@@ -126,6 +167,9 @@ let engine t = t.engine
 let machine t = t.machine
 let costs t = t.costs
 let name t = t.kname
+let exec_backend t = t.backend
+let eth_demux_mode t = t.demux
+let set_eth_demux t d = t.demux <- d
 
 (* ---------------------------------------------------------------- *)
 (* Meter / transmit settlement                                       *)
@@ -175,23 +219,56 @@ let default_allowed =
   Isa.[ K_msg_read8; K_msg_read16; K_msg_read32; K_msg_write32; K_copy;
         K_dilp; K_send; K_msg_len ]
 
+let cache_key ~sandbox ~allowed_calls program =
+  (Program.digest program, sandbox, List.sort compare allowed_calls)
+
+let install_ash t ~sandbox ~hardwired ~allowed_calls ch =
+  let id = t.next_ash in
+  t.next_ash <- id + 1;
+  Hashtbl.add t.ashes id
+    { exec = ch.c_exec; sandboxed = sandbox; hardwired;
+      allowed = allowed_calls; sb_stats = ch.c_sb_stats; last = None };
+  id
+
 let download_ash t ?(sandbox = true) ?(hardwired = false)
     ?(allowed_calls = default_allowed) program =
-  match Verify.check ~allowed_calls program with
-  | Error e -> Error e
-  | Ok p ->
-    let p, sb_stats =
-      if sandbox then
-        let sp, st = Sandbox.apply p in
-        (sp, Some st)
-      else (p, None)
-    in
-    let id = t.next_ash in
-    t.next_ash <- id + 1;
-    Hashtbl.add t.ashes id
-      { program = p; sandboxed = sandbox; hardwired;
-        allowed = allowed_calls; sb_stats; last = None };
-    Ok id
+  let key = cache_key ~sandbox ~allowed_calls program in
+  match Hashtbl.find_opt t.handler_cache key with
+  | Some ch ->
+    (* Same program, same sandbox/policy: reuse the compiled artifact.
+       Verification is skipped — a hit proves an identical submission
+       already passed under the same allowed-calls policy. *)
+    t.cache_hits <- t.cache_hits + 1;
+    Ok (install_ash t ~sandbox ~hardwired ~allowed_calls ch)
+  | None ->
+    match Verify.check ~allowed_calls program with
+    | Error e -> Error e
+    | Ok p ->
+      let p, sb_stats =
+        if sandbox then
+          let sp, st = Sandbox.apply p in
+          (sp, Some st)
+        else (p, None)
+      in
+      let exec = Exec.prepare p in
+      (* Compile at download time, not on first message arrival. *)
+      if t.backend = Exec.Compiled then Exec.force exec;
+      let ch = { c_sb_stats = sb_stats; c_exec = exec } in
+      Hashtbl.add t.handler_cache key ch;
+      t.cache_misses <- t.cache_misses + 1;
+      Ok (install_ash t ~sandbox ~hardwired ~allowed_calls ch)
+
+let handler_cache_stats t =
+  { hits = t.cache_hits; misses = t.cache_misses;
+    entries = Hashtbl.length t.handler_cache }
+
+(* End-of-life: drop every downloaded artifact. The kernel must not be
+   asked to deliver messages afterwards; bindings that still reference
+   ash ids will fail. *)
+let teardown t =
+  Hashtbl.reset t.handler_cache;
+  Hashtbl.reset t.ashes;
+  Hashtbl.reset t.dilps
 
 let find_ash t id =
   match Hashtbl.find_opt t.ashes id with
@@ -200,6 +277,7 @@ let find_ash t id =
 
 let ash_sandbox_stats t id = (find_ash t id).sb_stats
 let ash_last_result t id = (find_ash t id).last
+let ash_prepared t id = (find_ash t id).exec
 
 let register_dilp t compiled =
   let id = t.next_dilp in
@@ -217,7 +295,7 @@ let dilp_callback t ~id ~src ~dst ~len ~regs =
     if len < 0 || len land 3 <> 0 then false
     else begin
       let init = List.map (fun r -> (r, regs.(r))) c.Dilp.persistent in
-      match Dilp.execute ~init t.machine c ~src ~dst ~len with
+      match Dilp.execute ~backend:t.backend ~init t.machine c ~src ~dst ~len with
       | { Interp.outcome = Interp.Returned; regs = final; _ } ->
         List.iter (fun r -> regs.(r) <- final.(r)) c.Dilp.persistent;
         true
@@ -237,7 +315,7 @@ let bind_vc t ~vc delivery =
   Hashtbl.add t.bindings vc
     { bvc = vc; delivery; user_handler = None; commit_hook = None;
       auto_repost = false; ash_budget = None; ash_tick_start = 0;
-      ash_ran_this_tick = 0; filter = None }
+      ash_ran_this_tick = 0; filter = None; prio = -1 }
 
 let rebind_vc t ~vc delivery =
   match Hashtbl.find_opt t.bindings vc with
@@ -247,15 +325,42 @@ let rebind_vc t ~vc delivery =
 let bind_eth_filter t filter ~compiled delivery =
   let vc = t.next_eth_vc in
   t.next_eth_vc <- vc + 1;
-  let prog = if compiled then Some (Dpf.compile filter) else None in
+  let prio = t.next_eth_prio in
+  t.next_eth_prio <- prio + 1;
+  let prog =
+    if compiled then begin
+      let prep = Exec.prepare (Dpf.compile filter) in
+      if t.backend = Exec.Compiled then Exec.force prep;
+      Some prep
+    end
+    else None
+  in
   let b =
     { bvc = vc; delivery; user_handler = None; commit_hook = None;
       auto_repost = false; ash_budget = None; ash_tick_start = 0;
-      ash_ran_this_tick = 0; filter = Some (filter, prog) }
+      ash_ran_this_tick = 0; filter = Some (filter, prog); prio }
   in
   Hashtbl.add t.bindings vc b;
-  t.eth_bindings <- t.eth_bindings @ [ b ];
+  t.eth_rev <- b :: t.eth_rev;
+  t.eth_order <- None;
+  Dpf_trie.insert t.eth_trie ~prio filter b;
+  if not compiled then t.eth_interp_count <- t.eth_interp_count + 1;
   vc
+
+let unbind_eth_filter t ~vc =
+  match Hashtbl.find_opt t.bindings vc with
+  | None -> invalid_arg "Kernel.unbind_eth_filter: unbound"
+  | Some b ->
+    match b.filter with
+    | None -> invalid_arg "Kernel.unbind_eth_filter: not an Ethernet binding"
+    | Some (spec, prog) ->
+      Hashtbl.remove t.bindings vc;
+      t.eth_rev <- List.filter (fun x -> x.bvc <> vc) t.eth_rev;
+      t.eth_order <- None;
+      Dpf_trie.remove t.eth_trie ~prio:b.prio spec;
+      (match prog with
+       | None -> t.eth_interp_count <- t.eth_interp_count - 1
+       | Some _ -> ())
 
 let set_user_handler t ~vc h =
   match Hashtbl.find_opt t.bindings vc with
@@ -429,7 +534,7 @@ let eth_env base t =
   }
 
 let run_handler_common t b ~id ~addr ~len ~release ~env ~upcall ~(ash : ash) =
-  let r = Interp.run env ash.program in
+  let r = Exec.run ~backend:t.backend env ash.exec in
   ash.last <- Some r;
   match r.Interp.outcome with
   | Interp.Committed ->
@@ -545,6 +650,33 @@ let take_pktbuf t =
     t.eth_pktbufs <- rest;
     Some p
 
+let eth_order t =
+  match t.eth_order with
+  | Some l -> l
+  | None ->
+    let l = List.rev t.eth_rev in
+    t.eth_order <- Some l;
+    l
+
+(* DPF demultiplexing over the contiguous packet. Default: one walk of
+   the merged filter trie. Falls back to the linear scan when asked
+   ([Demux_linear]) or when any binding uses the interpreted filter
+   engine, whose per-filter cost the trie does not model. *)
+let eth_demux t ~msg_addr ~msg_len =
+  if t.demux = Demux_trie && t.eth_interp_count = 0 then
+    Dpf_trie.lookup t.eth_trie t.machine ~msg_addr ~msg_len
+  else
+    List.find_opt
+      (fun b ->
+         match b.filter with
+         | Some (_, Some prep) ->
+           Dpf.run_prepared ~backend:t.backend t.machine prep ~msg_addr
+             ~msg_len
+         | Some (spec, None) ->
+           Dpf.run_interpreted t.machine spec ~msg_addr ~msg_len
+         | None -> false)
+      (eth_order t)
+
 let on_eth_rx t (rx : Ethernet.rx) =
   let eth = match t.eth with Some e -> e | None -> assert false in
   charge_ns t t.costs.Costs.kern_rx_ns;
@@ -568,22 +700,7 @@ let on_eth_rx t (rx : Ethernet.rx) =
       Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
       let len = rx.Ethernet.len in
       let release () = t.eth_pktbufs <- pktbuf :: t.eth_pktbufs in
-      (* DPF demultiplexing over the contiguous packet. *)
-      let matching =
-        List.find_opt
-          (fun b ->
-             match b.filter with
-             | Some (spec, Some prog) ->
-               Dpf.run_compiled t.machine prog ~msg_addr:pktbuf ~msg_len:len
-               |> fun ok ->
-               ignore spec;
-               ok
-             | Some (spec, None) ->
-               Dpf.run_interpreted t.machine spec ~msg_addr:pktbuf
-                 ~msg_len:len
-             | None -> false)
-          t.eth_bindings
-      in
+      let matching = eth_demux t ~msg_addr:pktbuf ~msg_len:len in
       (match matching with
        | None ->
          release ();

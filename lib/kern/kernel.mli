@@ -51,11 +51,39 @@ type stats = {
   tx_frames : int;
 }
 
-val create : Ash_sim.Engine.t -> Ash_sim.Costs.t -> name:string -> t
+type demux =
+  | Demux_linear  (** Run each installed filter's program in install
+                      order — the pre-trie baseline. *)
+  | Demux_trie    (** One walk of the merged filter trie
+                      ({!Dpf_trie}). *)
+
+val create :
+  ?backend:Ash_vm.Exec.backend ->
+  ?demux:demux ->
+  Ash_sim.Engine.t ->
+  Ash_sim.Costs.t ->
+  name:string ->
+  t
+(** [backend] selects how downloaded code executes (default:
+    {!Ash_vm.Exec.default}, i.e. closure-compiled). [demux] selects the
+    Ethernet demultiplexing strategy (default [Demux_trie]). Both are
+    host-side choices: simulated numbers are identical across backends,
+    and across demux modes whenever filters don't overlap in cost-visible
+    ways (a lone filter charges identically under both). *)
+
 val engine : t -> Ash_sim.Engine.t
 val machine : t -> Ash_sim.Machine.t
 val costs : t -> Ash_sim.Costs.t
 val name : t -> string
+val exec_backend : t -> Ash_vm.Exec.backend
+
+val eth_demux_mode : t -> demux
+val set_eth_demux : t -> demux -> unit
+(** Switch demux strategy (tests compare the two on live bindings). *)
+
+val teardown : t -> unit
+(** Drop every downloaded artifact: handler cache, ASH registry and
+    DILP registry. The kernel must not deliver messages afterwards. *)
 
 (* -- Devices ----------------------------------------------------------- *)
 
@@ -78,7 +106,23 @@ val download_ash :
     an identifier — the download step of §II. [sandbox:false] installs
     the unsafe variant measured in Tables V/VI. [hardwired:true] marks
     hand-written in-kernel code (Table I's "in-kernel" row): it skips
-    the per-invocation ASH dispatch and timer costs. *)
+    the per-invocation ASH dispatch and timer costs.
+
+    Downloads are cached: re-submitting a program with an equal
+    {!Ash_vm.Program.digest} under the same [sandbox] flag and
+    allowed-calls policy skips verification and sandboxing and shares
+    the already-compiled execution artifact ([hardwired] only affects
+    per-invocation dispatch cost, so it is not part of the key). Under
+    the compiled backend the closure artifact is generated here, at
+    download time. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val handler_cache_stats : t -> cache_stats
+
+val ash_prepared : t -> ash_id -> Ash_vm.Exec.prepared
+(** Instrumentation: the installed handler's shared execution artifact
+    (two cache-hitting downloads return physically equal values). *)
 
 val ash_sandbox_stats : t -> ash_id -> Ash_vm.Sandbox.stats option
 (** Instructions added by the sandboxer ([None] for unsandboxed). *)
@@ -104,9 +148,16 @@ val rebind_vc : t -> vc:int -> delivery -> unit
 
 val bind_eth_filter : t -> Dpf.t -> compiled:bool -> delivery -> int
 (** Install a packet filter for Ethernet demux; first installed match
-    wins. [compiled:false] uses the interpreted engine (ablation A1).
-    Returns the binding's pseudo-vc (10000, 10001, ...), usable with
-    {!set_user_handler} and {!rebind_vc}. *)
+    wins. The filter is merged into the demux trie incrementally.
+    [compiled:false] uses the interpreted engine (ablation A1) and
+    forces the linear scan while any such binding exists. Returns the
+    binding's pseudo-vc (10000, 10001, ...), usable with
+    {!set_user_handler}, {!rebind_vc} and {!unbind_eth_filter}. *)
+
+val unbind_eth_filter : t -> vc:int -> unit
+(** Remove exactly the filter installed under this pseudo-vc, from both
+    the binding table and the demux trie. Raises [Invalid_argument] if
+    [vc] is unbound or not an Ethernet filter binding. *)
 
 val set_user_handler : t -> vc:int -> (addr:int -> len:int -> unit) -> unit
 (** Application code run on user-level delivery (and on handler

@@ -39,6 +39,12 @@ type event = { seq : int; ts : int; kind : kind }
    any engine exists events are stamped 0. *)
 let clock : (unit -> int) ref = ref (fun () -> 0)
 let set_clock f = clock := f
+
+let swap_clock f =
+  let prev = !clock in
+  clock := f;
+  prev
+
 let now () = !clock ()
 
 (* The sink is a single mutable function: when tracing is off, hot

@@ -55,6 +55,12 @@ val set_clock : (unit -> int) -> unit
     simulation engine calls this on creation; the default clock
     returns 0. *)
 
+val swap_clock : (unit -> int) -> (unit -> int)
+(** Install a clock and return the previously installed one. The
+    simulation engine brackets event dispatch with this so that with
+    several live engines, events are always stamped by the engine that
+    is actually running (not the last one created). *)
+
 val now : unit -> int
 
 val enabled : unit -> bool

@@ -39,6 +39,9 @@ val eth_striped : layout
 
 type compiled = private {
   program : Ash_vm.Program.t;
+  exec : Ash_vm.Exec.prepared;
+  (** The program prepared for backend execution (closure artifact
+      generated lazily on first compiled-backend run). *)
   mode : mode;
   layout : layout;
   pipes : Pipe.t list;
@@ -52,6 +55,7 @@ val compile : ?layout:layout -> Pipe.Pipelist.t -> mode -> compiled
     must be straight-line), or [Invalid_argument] on a bad layout. *)
 
 val execute :
+  ?backend:Ash_vm.Exec.backend ->
   ?init:(Ash_vm.Isa.reg * int) list ->
   Ash_sim.Machine.t ->
   compiled ->
@@ -60,11 +64,13 @@ val execute :
   len:int ->
   Ash_vm.Interp.result
 (** Run the fused loop over [len] {e payload} bytes (the striped source
-    region is correspondingly longer), charging the machine. Raises
+    region is correspondingly longer), charging the machine, under
+    [backend] (default {!Ash_vm.Exec.default}). Raises
     [Invalid_argument] if [len] is negative, not a multiple of four, or
     (striped layouts) not a multiple of the stripe's data size. *)
 
 val execute_exn :
+  ?backend:Ash_vm.Exec.backend ->
   ?init:(Ash_vm.Isa.reg * int) list ->
   Ash_sim.Machine.t ->
   compiled ->

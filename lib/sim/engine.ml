@@ -71,8 +71,11 @@ type t = {
 
 let create () =
   let t = { heap = Heap.create (); clock = 0; next_seq = 0; live = 0 } in
-  (* Trace events are stamped with this engine's virtual clock (last
-     engine created wins; experiments use one engine per run). *)
+  (* Trace events are stamped with this engine's virtual clock. The
+     registration here covers emission outside event dispatch (e.g.
+     scheduling before the first run); while an engine is stepping, it
+     scopes the clock to itself and restores the previous one after, so
+     multiple live engines cannot mis-stamp each other's events. *)
   Ash_obs.Trace.set_clock (fun () -> t.clock);
   t
 
@@ -100,7 +103,17 @@ let cancel t e =
 
 let pending t = t.live
 
-let step t =
+(* Bracket dispatch with this engine's clock so concurrent engines
+   stamp their own events, whatever order they were created in. *)
+let with_clock t f =
+  let prev = Ash_obs.Trace.swap_clock (fun () -> t.clock) in
+  Fun.protect
+    ~finally:(fun () ->
+      let (_ : unit -> int) = Ash_obs.Trace.swap_clock prev in
+      ())
+    f
+
+let step_unscoped t =
   match Heap.pop t.heap with
   | None -> false
   | Some e ->
@@ -114,19 +127,22 @@ let step t =
       true
     end
 
-let run t = while step t do () done
+let run t = with_clock t (fun () -> while step_unscoped t do () done)
 
 let run_until t deadline =
-  let continue = ref true in
-  while !continue do
-    match Heap.peek t.heap with
-    | Some e when e.time <= deadline -> if not (step t) then continue := false
-    | Some _ | None -> continue := false
-  done;
-  if t.clock < deadline then t.clock <- deadline
+  with_clock t (fun () ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | Some e when e.time <= deadline ->
+          if not (step_unscoped t) then continue := false
+        | Some _ | None -> continue := false
+      done;
+      if t.clock < deadline then t.clock <- deadline)
 
 let run_while t pred =
-  let continue = ref true in
-  while !continue && pred () do
-    if not (step t) then continue := false
-  done
+  with_clock t (fun () ->
+      let continue = ref true in
+      while !continue && pred () do
+        if not (step_unscoped t) then continue := false
+      done)

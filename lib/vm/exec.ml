@@ -1,0 +1,68 @@
+type backend = Interpreter | Compiled
+
+let backend_name = function
+  | Interpreter -> "interp"
+  | Compiled -> "compiled"
+
+let backend_of_string = function
+  | "interp" | "interpreter" -> Some Interpreter
+  | "compiled" | "closure" -> Some Compiled
+  | _ -> None
+
+let default_backend = ref Compiled
+
+let default () = !default_backend
+
+let set_default b = default_backend := b
+
+let with_default b f =
+  let saved = !default_backend in
+  default_backend := b;
+  Fun.protect ~finally:(fun () -> default_backend := saved) f
+
+type prepared = {
+  program : Program.t;
+  digest : string;
+  mutable compiled : Compile.t option;
+}
+
+let prepare program =
+  { program; digest = Program.digest program; compiled = None }
+
+let program p = p.program
+
+let digest p = p.digest
+
+(* Process-wide artifact memo. Translation is a pure function of the
+   program, so distinct kernels (each with its own per-kernel handler
+   cache) still share one closure artifact per distinct program. Reset
+   when it grows past [memo_cap] — property tests churn through
+   thousands of one-shot random programs. *)
+let memo_cap = 1024
+let artifacts : (string, Compile.t) Hashtbl.t = Hashtbl.create 64
+
+let compiled p =
+  match p.compiled with
+  | Some c -> c
+  | None ->
+    let c =
+      match Hashtbl.find_opt artifacts p.digest with
+      | Some c -> c
+      | None ->
+        if Hashtbl.length artifacts >= memo_cap then Hashtbl.reset artifacts;
+        let c = Compile.compile p.program in
+        Hashtbl.add artifacts p.digest c;
+        c
+    in
+    p.compiled <- Some c;
+    c
+
+let is_compiled p = p.compiled <> None
+
+let force p = ignore (compiled p)
+
+let run ?backend env ?regs_init p =
+  let b = match backend with Some b -> b | None -> !default_backend in
+  match b with
+  | Interpreter -> Interp.run env ?regs_init p.program
+  | Compiled -> Compile.run env ?regs_init (compiled p)

@@ -48,6 +48,11 @@ type env = {
                            ticks worth of time", §III-B3). *)
 }
 
+val max_steps : int
+(** Hard backstop on executed instructions independent of the cycle
+    budget, so a mis-configured gas value cannot hang the host. Shared
+    by every execution backend (see {!Compile}). *)
+
 val default_gas : int
 (** 200_000 cycles = 5 ms at 40 MHz — two 2.5-ms clock ticks; "the
     instruction budget ... is rather large (tens of thousands of

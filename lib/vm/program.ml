@@ -10,6 +10,10 @@ let make ~name code =
 
 let length t = Array.length t.code
 
+let digest t =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (t.name, t.code, t.jump_map) []))
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>; program %s (%d instructions)@," t.name
     (Array.length t.code);

@@ -391,6 +391,171 @@ let prop_dilp_matches_baseline_passes =
       let seq_bytes = Memory.read_string memb ~addr:dstb.Memory.base ~len in
       fused_cksum = seq_cksum && fused_bytes = seq_bytes)
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: interpreter backend vs closure-compiled backend             *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = Ash_vm.Exec
+module Dpf = Ash_kern.Dpf
+
+(* The backends' contract is total observational equality: same
+   Interp.result field for field AND the same machine charging, for any
+   program — including ones that die mid-run. *)
+
+let run_backend backend (machine, msg, _scratch) prepared =
+  let env =
+    {
+      Interp.machine;
+      msg_addr = msg.Memory.base;
+      msg_len;
+      allowed_calls = allowed;
+      dilp = (fun ~id:_ ~src:_ ~dst:_ ~len:_ ~regs:_ -> false);
+      send = ignore;
+      gas_cycles = Interp.default_gas;
+    }
+  in
+  Exec.run ~backend env prepared
+
+let check_results_equal ~what (a : Interp.result) (b : Interp.result) =
+  if a.Interp.outcome <> b.Interp.outcome then
+    QCheck.Test.fail_reportf "%s: outcomes differ" what;
+  if a.Interp.insns <> b.Interp.insns then
+    QCheck.Test.fail_reportf "%s: insns differ: %d vs %d" what a.Interp.insns
+      b.Interp.insns;
+  if a.Interp.check_insns <> b.Interp.check_insns then
+    QCheck.Test.fail_reportf "%s: check_insns differ: %d vs %d" what
+      a.Interp.check_insns b.Interp.check_insns;
+  if a.Interp.cycles <> b.Interp.cycles then
+    QCheck.Test.fail_reportf "%s: cycles differ: %d vs %d" what
+      a.Interp.cycles b.Interp.cycles;
+  for r = 0 to Isa.num_regs - 1 do
+    if a.Interp.regs.(r) <> b.Interp.regs.(r) then
+      QCheck.Test.fail_reportf "%s: r%d differs: %d vs %d" what r
+        a.Interp.regs.(r)
+        b.Interp.regs.(r)
+  done
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"compiled backend = interpreter (unsafe + sandboxed)"
+    ~count:150 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 13) in
+      let fa = fixture seed and fb = fixture seed in
+      let _, _, sa = fa and ma, _, _ = fa and mb, _, _ = fb in
+      let p = gen_program rng ~scratch_base:sa.Memory.base in
+      let variants =
+        [ ("unsafe", p); ("sandboxed", fst (Sandbox.apply p)) ]
+      in
+      List.iter
+        (fun (what, prog) ->
+           let prep_a = Exec.prepare prog and prep_b = Exec.prepare prog in
+           let ra = run_backend Exec.Interpreter fa prep_a in
+           let rb = run_backend Exec.Compiled fb prep_b in
+           check_results_equal ~what ra rb;
+           if Machine.consumed_cycles ma <> Machine.consumed_cycles mb then
+             QCheck.Test.fail_reportf "%s: machine cycle meters diverged" what;
+           let _, _, scr_a = fa and _, _, scr_b = fb in
+           if region_contents fa scr_a <> region_contents fb scr_b then
+             QCheck.Test.fail_reportf "%s: scratch memory diverged" what)
+        variants;
+      true)
+
+let prop_dilp_backends_agree =
+  QCheck.Test.make ~name:"DILP transfers agree across backends" ~count:80
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 17) in
+      let stack = gen_stack rng in
+      let len = 4 * (1 + Rng.int rng 128) in
+      let payload = Bytes.create len in
+      Rng.fill_bytes rng payload;
+      let pl = Pipe.Pipelist.create () in
+      List.iter
+        (fun pd ->
+           match pd with
+           | Cksum -> ignore (Pipelib.cksum32 pl)
+           | Bswap32 -> ignore (Pipelib.byteswap32 pl)
+           | Bswap16 -> ignore (Pipelib.byteswap16 pl)
+           | Xor _ -> ignore (Pipelib.xor_cipher pl)
+           | Count -> ignore (Pipelib.word_count pl)
+           | Ident -> ignore (Pipelib.identity pl)
+           | Add8 c -> ignore (Pipelib.add_const8 pl c))
+        stack;
+      let compiled = Dilp.compile pl Dilp.Write in
+      let setup () =
+        let machine = Machine.create Costs.decstation in
+        let mem = Machine.mem machine in
+        let src = Memory.alloc mem ~name:"src" len in
+        let dst = Memory.alloc mem ~name:"dst" len in
+        Memory.blit_from_bytes mem ~src:payload ~src_off:0
+          ~dst:src.Memory.base ~len;
+        (machine, mem, src, dst)
+      in
+      let ma, mema, srca, dsta = setup () in
+      let mb, memb, srcb, dstb = setup () in
+      let ra =
+        Dilp.execute ~backend:Exec.Interpreter ma compiled
+          ~src:srca.Memory.base ~dst:dsta.Memory.base ~len
+      in
+      let rb =
+        Dilp.execute ~backend:Exec.Compiled mb compiled ~src:srcb.Memory.base
+          ~dst:dstb.Memory.base ~len
+      in
+      check_results_equal ~what:"dilp" ra rb;
+      if Machine.consumed_cycles ma <> Machine.consumed_cycles mb then
+        QCheck.Test.fail_report "dilp: machine cycle meters diverged";
+      Memory.read_string mema ~addr:dsta.Memory.base ~len
+      = Memory.read_string memb ~addr:dstb.Memory.base ~len)
+
+let gen_filter rng =
+  let natoms = 1 + Rng.int rng 4 in
+  List.init natoms (fun _ ->
+      let width = [| 1; 2; 4 |].(Rng.int rng 3) in
+      let offset = Rng.int rng (msg_len - width + 8) (* sometimes past end *) in
+      let bound = 1 lsl (8 * width) in
+      Dpf.atom ~offset ~width (Rng.int rng bound))
+
+let prop_dpf_backends_agree =
+  QCheck.Test.make ~name:"DPF filter evaluation agrees across backends"
+    ~count:120 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 23) in
+      let filter = gen_filter rng in
+      let packet = Bytes.create msg_len in
+      Rng.fill_bytes rng packet;
+      (* Half the time, force a match so the Commit path is exercised. *)
+      (if Rng.int rng 2 = 0 then
+         List.iter
+           (fun (a : Dpf.atom) ->
+              if a.Dpf.offset + a.Dpf.width <= msg_len then
+                for i = 0 to a.Dpf.width - 1 do
+                  Bytes.set packet (a.Dpf.offset + i)
+                    (Char.chr
+                       ((a.Dpf.value lsr (8 * (a.Dpf.width - 1 - i)))
+                        land 0xff))
+                done)
+           filter);
+      let prep = Exec.prepare (Dpf.compile filter) in
+      let setup () =
+        let machine = Machine.create Costs.decstation in
+        let mem = Machine.mem machine in
+        let buf = Memory.alloc mem ~name:"pkt" msg_len in
+        Memory.blit_from_bytes mem ~src:packet ~src_off:0 ~dst:buf.Memory.base
+          ~len:msg_len;
+        (machine, buf)
+      in
+      let ma, bufa = setup () and mb, bufb = setup () in
+      let accept_a =
+        Dpf.run_prepared ~backend:Exec.Interpreter ma prep
+          ~msg_addr:bufa.Memory.base ~msg_len
+      in
+      let accept_b =
+        Dpf.run_prepared ~backend:Exec.Compiled mb prep
+          ~msg_addr:bufb.Memory.base ~msg_len
+      in
+      if accept_a <> accept_b then
+        QCheck.Test.fail_reportf "accept differs: %b vs %b" accept_a accept_b;
+      if Machine.consumed_cycles ma <> Machine.consumed_cycles mb then
+        QCheck.Test.fail_report "dpf: machine cycle meters diverged";
+      accept_a = Dpf.matches packet filter)
+
 let () =
   Alcotest.run "differential"
     [
@@ -403,5 +568,11 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_dilp_matches_sequential;
           QCheck_alcotest.to_alcotest prop_dilp_matches_baseline_passes;
+        ] );
+      ( "backends",
+        [
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+          QCheck_alcotest.to_alcotest prop_dilp_backends_agree;
+          QCheck_alcotest.to_alcotest prop_dpf_backends_agree;
         ] );
     ]

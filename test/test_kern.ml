@@ -499,6 +499,95 @@ let test_kernel_eth_ash_sees_destriped_packet () =
        (Machine.mem (Kernel.machine srv))
        ~addr:landing.Memory.base ~len:100)
 
+(* ------------------------------------------------------------------ *)
+(* Download-time handler cache                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_handler_cache_shares_artifact () =
+  let tb = mk_pair () in
+  let srv = tb.TB.server.TB.kernel in
+  let prog = Handlers.echo () in
+  let id1 = download srv prog in
+  let id2 = download srv prog in
+  let st = Kernel.handler_cache_stats srv in
+  Alcotest.(check int) "one miss" 1 st.Kernel.misses;
+  Alcotest.(check int) "one hit" 1 st.Kernel.hits;
+  Alcotest.(check int) "one entry" 1 st.Kernel.entries;
+  Alcotest.(check bool) "physically shared artifact" true
+    (Kernel.ash_prepared srv id1 == Kernel.ash_prepared srv id2);
+  (* Cache hits share the sandboxing stats too. *)
+  Alcotest.(check bool) "sandbox stats shared" true
+    (Kernel.ash_sandbox_stats srv id1 = Kernel.ash_sandbox_stats srv id2)
+
+let test_kernel_handler_cache_key_includes_policy () =
+  let tb = mk_pair () in
+  let srv = tb.TB.server.TB.kernel in
+  let prog = Handlers.echo () in
+  let id_sand = download srv ~sandbox:true prog in
+  (* Same program, different sandbox flag: must not false-hit. *)
+  let id_unsafe = download srv ~sandbox:false prog in
+  (* Same program, different allowed-calls policy: must not false-hit. *)
+  let id_narrow =
+    match
+      Kernel.download_ash srv ~sandbox:true
+        ~allowed_calls:Isa.[ K_msg_len; K_send ]
+        prog
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "verify rejected: %a" Ash_vm.Verify.pp_error e
+  in
+  let st = Kernel.handler_cache_stats srv in
+  Alcotest.(check int) "three distinct entries" 3 st.Kernel.entries;
+  Alcotest.(check int) "no hits" 0 st.Kernel.hits;
+  Alcotest.(check bool) "sandboxed and unsafe artifacts differ" true
+    (Kernel.ash_prepared srv id_sand != Kernel.ash_prepared srv id_unsafe);
+  Alcotest.(check bool) "policy variants differ" true
+    (Kernel.ash_prepared srv id_sand != Kernel.ash_prepared srv id_narrow);
+  (* hardwired is dispatch cost only, NOT part of the key. *)
+  (match Kernel.download_ash srv ~hardwired:true prog with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "verify rejected: %a" Ash_vm.Verify.pp_error e);
+  Alcotest.(check int) "hardwired download hits" 1
+    (Kernel.handler_cache_stats srv).Kernel.hits
+
+let test_kernel_teardown_evicts_cache () =
+  let tb = mk_pair () in
+  let srv = tb.TB.server.TB.kernel in
+  let prog = Handlers.echo () in
+  let _ = download srv prog in
+  let _ = download srv prog in
+  Alcotest.(check int) "cached before teardown" 1
+    (Kernel.handler_cache_stats srv).Kernel.entries;
+  Kernel.teardown srv;
+  Alcotest.(check int) "cache emptied" 0
+    (Kernel.handler_cache_stats srv).Kernel.entries;
+  (* A fresh download after teardown re-verifies: a miss, not a hit. *)
+  let id = download srv prog in
+  let st = Kernel.handler_cache_stats srv in
+  Alcotest.(check int) "re-download misses" 2 st.Kernel.misses;
+  Alcotest.(check int) "one live entry again" 1 st.Kernel.entries;
+  ignore (Kernel.ash_prepared srv id)
+
+let test_kernel_cached_handler_still_runs () =
+  (* End to end: the second, cache-hitting download is a working handler. *)
+  let tb = mk_pair () in
+  let srv = tb.TB.server.TB.kernel in
+  let _id1 = download srv (Handlers.echo ()) in
+  let id2 = download srv (Handlers.echo ()) in
+  Kernel.bind_vc srv ~vc (Kernel.Deliver_ash id2);
+  Kernel.set_auto_repost srv ~vc true;
+  TB.post_buffers tb.TB.server ~vc ~count:2 ~size:64;
+  Kernel.bind_vc tb.TB.client.TB.kernel ~vc Kernel.Deliver_user;
+  Kernel.set_auto_repost tb.TB.client.TB.kernel ~vc true;
+  TB.post_buffers tb.TB.client ~vc ~count:2 ~size:64;
+  let reply = ref 0 in
+  Kernel.set_user_handler tb.TB.client.TB.kernel ~vc (fun ~addr:_ ~len:_ ->
+      incr reply);
+  Kernel.user_send tb.TB.client.TB.kernel ~vc (Bytes.make 4 'x');
+  TB.run tb;
+  Alcotest.(check int) "cache-hit handler echoed" 1 !reply;
+  Alcotest.(check int) "committed" 1 (Kernel.stats srv).Kernel.ash_committed
+
 let test_kernel_download_rejects_bad_program () =
   let tb = mk_pair () in
   let srv = tb.TB.server.TB.kernel in
@@ -563,5 +652,16 @@ let () =
             test_kernel_eth_ash_sees_destriped_packet;
           Alcotest.test_case "rate limit resets" `Quick
             test_kernel_ash_rate_limit_resets_next_tick;
+        ] );
+      ( "handler-cache",
+        [
+          Alcotest.test_case "re-download shares artifact" `Quick
+            test_kernel_handler_cache_shares_artifact;
+          Alcotest.test_case "key includes policy" `Quick
+            test_kernel_handler_cache_key_includes_policy;
+          Alcotest.test_case "teardown evicts" `Quick
+            test_kernel_teardown_evicts_cache;
+          Alcotest.test_case "cached handler runs" `Quick
+            test_kernel_cached_handler_still_runs;
         ] );
     ]

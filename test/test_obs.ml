@@ -177,6 +177,51 @@ let test_labels_stable () =
     (Trace.label (Trace.Dpf_eval { compiled = true; matched = false }));
   Alcotest.(check string) "tcp hit" "tcp.fast.hit" (Trace.label Trace.Tcp_fast_hit)
 
+let test_swap_clock_returns_previous () =
+  let a () = 11 and b () = 22 in
+  Trace.set_clock a;
+  let prev = Trace.swap_clock b in
+  Alcotest.(check int) "installed" 22 (Trace.now ());
+  Alcotest.(check int) "previous returned" 11 (prev ());
+  let prev2 = Trace.swap_clock prev in
+  Alcotest.(check int) "restored" 11 (Trace.now ());
+  Alcotest.(check int) "swap is symmetric" 22 (prev2 ())
+
+(* Two live engines: each event must be stamped by the engine that is
+   actually dispatching, not whichever was created last. Before the
+   dispatch-scoped clock, the second [Engine.create] hijacked the global
+   clock for good and the first engine's events carried its time. *)
+let test_two_engines_stamp_their_own_events () =
+  let module Engine = Ash_sim.Engine in
+  let e1 = Engine.create () in
+  let e2 = Engine.create () in
+  let r = Trace.record () in
+  (* Distinct schedules: e1 fires at 100 and 300, e2 at 7 and 9. *)
+  ignore (Engine.schedule_at e1 ~at:100 (fun () -> Trace.emit (Trace.Mark "e1")));
+  ignore (Engine.schedule_at e1 ~at:300 (fun () -> Trace.emit (Trace.Mark "e1")));
+  ignore (Engine.schedule_at e2 ~at:7 (fun () -> Trace.emit (Trace.Mark "e2")));
+  ignore (Engine.schedule_at e2 ~at:9 (fun () -> Trace.emit (Trace.Mark "e2")));
+  (* Run the FIRST-created engine first: under last-created-wins it
+     would stamp with e2's clock (still 0). *)
+  Engine.run e1;
+  Engine.run e2;
+  Trace.stop r;
+  let stamps tag =
+    List.filter_map
+      (fun (e : Trace.event) ->
+         match e.Trace.kind with
+         | Trace.Mark m when m = tag -> Some e.Trace.ts
+         | _ -> None)
+      (Trace.events r)
+  in
+  Alcotest.(check (list int)) "e1 events carry e1's clock" [ 100; 300 ]
+    (stamps "e1");
+  Alcotest.(check (list int)) "e2 events carry e2's clock" [ 7; 9 ]
+    (stamps "e2");
+  (* After both runs, emission outside dispatch uses the restored
+     creation-time clock (the last engine created). *)
+  Alcotest.(check int) "outside dispatch: last-created clock" 9 (Trace.now ())
+
 let () =
   Alcotest.run "ash_obs"
     [
@@ -185,6 +230,10 @@ let () =
           Alcotest.test_case "null sink" `Quick (isolated test_null_sink_is_off);
           Alcotest.test_case "record/stop" `Quick (isolated test_record_enables);
           Alcotest.test_case "clock stamps" `Quick (isolated test_clock_stamps);
+          Alcotest.test_case "swap clock" `Quick
+            (isolated test_swap_clock_returns_previous);
+          Alcotest.test_case "two engines" `Quick
+            (isolated test_two_engines_stamp_their_own_events);
         ] );
       ( "ring",
         [
