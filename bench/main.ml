@@ -171,6 +171,59 @@ let run_backend_comparison () =
        (name, interp_ns, compiled_ns))
     backend_comparison_kernels
 
+(* -- Tracer overhead: off vs counters-only vs full spans --------------- *)
+
+(* Host wall-clock cost of the observability layer itself, measured on a
+   handler-heavy kernel. "counters" installs a recorder but samples spans
+   out (set_span_sample max_int: exact counters, no span events);
+   "spans" traces every message. The acceptance bar is spans < 2x off. *)
+let tracer_overhead_kernel () =
+  ignore (Lab.remote_increment ~iters:16 (Lab.Srv_ash { sandbox = true }))
+
+let run_tracer_overhead () =
+  let module Trace = Ash_obs.Trace in
+  let reps = 20 in
+  let timed f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
+  in
+  (* Steady-state cost: the recorder is installed before the timed pass
+     and stays live across it, as in a traced experiment run. *)
+  let recorded sample =
+    Trace.set_span_sample sample;
+    let r = Trace.record ~capacity:8192 () in
+    let ns = timed tracer_overhead_kernel in
+    Trace.stop r;
+    Trace.set_span_sample 1;
+    ns
+  in
+  tracer_overhead_kernel (); (* warm up *)
+  let off_ns = ref infinity in
+  let counters_ns = ref infinity in
+  let spans_ns = ref infinity in
+  (* Interleaved rounds, min per mode: host-load phases hit every mode
+     equally instead of biasing whichever ran last. *)
+  for _ = 1 to 5 do
+    off_ns := min !off_ns (timed tracer_overhead_kernel);
+    counters_ns := min !counters_ns (recorded max_int);
+    spans_ns := min !spans_ns (recorded 1)
+  done;
+  let off_ns = !off_ns
+  and counters_ns = !counters_ns
+  and spans_ns = !spans_ns in
+  let ratio = spans_ns /. off_ns in
+  Format.printf
+    "@.=== Tracer overhead (host wall time per run, table5 kernel) ===@.";
+  Format.printf "  %-32s %10.0f ns@." "tracing off" off_ns;
+  Format.printf "  %-32s %10.0f ns@." "counters only" counters_ns;
+  Format.printf "  %-32s %10.0f ns   x%.2f vs off@." "full spans" spans_ns
+    ratio;
+  Some (off_ns, counters_ns, spans_ns)
+
 (* -- BENCH_results.json ------------------------------------------------ *)
 
 let json_escape s =
@@ -189,7 +242,7 @@ let json_escape s =
 
 let json_float f = Printf.sprintf "%.6g" f
 
-let write_results_json ~path ~backend ~tables ~bechamel ~backends =
+let write_results_json ~path ~backend ~tables ~bechamel ~backends ~tracer =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -236,7 +289,15 @@ let write_results_json ~path ~backend ~tables ~bechamel ~backends =
          (json_float (interp_ns /. compiled_ns))
          (if i = List.length backends - 1 then "" else ","))
     backends;
-  add "  }\n";
+  add "  },\n";
+  (match tracer with
+   | None -> add "  \"tracer_overhead_ns_per_run\": null\n"
+   | Some (off_ns, counters_ns, spans_ns) ->
+     add
+       "  \"tracer_overhead_ns_per_run\": {\"off\": %s, \"counters\": %s, \
+        \"spans\": %s, \"spans_over_off\": %s}\n"
+       (json_float off_ns) (json_float counters_ns) (json_float spans_ns)
+       (json_float (spans_ns /. off_ns)));
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -304,6 +365,7 @@ let () =
   end;
   let bechamel = if no_bechamel then [] else run_bechamel () in
   let backends = if no_bechamel then [] else run_backend_comparison () in
+  let tracer = if no_bechamel then None else run_tracer_overhead () in
   if not no_json then
     write_results_json ~path:"BENCH_results.json" ~backend ~tables ~bechamel
-      ~backends
+      ~backends ~tracer

@@ -72,7 +72,27 @@ let run_cmd =
          & info [ "trace-json" ]
            ~doc:"Like $(b,--trace), but dump the recording as JSON.")
   in
-  let run markdown trace trace_json ids =
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+           ~doc:"Record spans while the experiments run and print the \
+                 per-message latency breakdown (p50/p99 per pipeline \
+                 stage) and the per-handler profile afterwards.")
+  in
+  let trace_sample =
+    Arg.(value & opt int 1
+         & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Record full spans for every $(docv)th message only \
+                 (counters stay exact). Default 1: trace everything.")
+  in
+  let trace_chrome =
+    Arg.(value & opt (some string) None
+         & info [ "trace-chrome" ] ~docv:"FILE"
+           ~doc:"Write the recording as Chrome trace-event JSON to \
+                 $(docv), loadable in Perfetto / chrome://tracing \
+                 (one process per message, one track per stage).")
+  in
+  let run markdown trace trace_json profile trace_sample trace_chrome ids =
     let selected =
       if ids = [] then experiments
       else
@@ -87,8 +107,15 @@ let run_cmd =
                exit 2)
           ids
     in
+    if trace_sample < 1 then begin
+      Printf.eprintf "--trace-sample must be >= 1\n";
+      exit 2
+    end;
+    Ash_obs.Trace.set_span_sample trace_sample;
     let recorder =
-      if trace || trace_json then Some (Ash_obs.Trace.record ()) else None
+      if trace || trace_json || profile || trace_chrome <> None then
+        Some (Ash_obs.Trace.record ())
+      else None
     in
     List.iter
       (fun (_, _, f) ->
@@ -101,11 +128,23 @@ let run_cmd =
     | Some r ->
       Ash_obs.Trace.stop r;
       if trace then Format.printf "%a@." (Report.print_trace ?max_events:None) r;
-      if trace_json then print_endline (Report.trace_to_json r)
+      if profile then
+        Format.printf "%a@." Ash_obs.Profile.pp (Ash_obs.Profile.of_recorder r);
+      (* JSON last: scripts can take the final stdout line. *)
+      if trace_json then print_endline (Report.trace_to_json r);
+      (match trace_chrome with
+       | None -> ()
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Ash_obs.Dump.to_chrome_json r);
+         output_char oc '\n';
+         close_out oc;
+         Printf.eprintf "wrote chrome trace to %s\n" file)
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ markdown $ trace $ trace_json $ ids)
+    Term.(const run $ markdown $ trace $ trace_json $ profile $ trace_sample
+          $ trace_chrome $ ids)
 
 let inspect_cmd =
   let doc =

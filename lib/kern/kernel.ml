@@ -12,6 +12,7 @@ module Dilp = Ash_pipes.Dilp
 module An2 = Ash_nic.An2
 module Ethernet = Ash_nic.Ethernet
 module Trace = Ash_obs.Trace
+module Span = Ash_obs.Span
 
 type ash_id = int
 
@@ -175,8 +176,36 @@ let set_eth_demux t d = t.demux <- d
 (* Meter / transmit settlement                                       *)
 (* ---------------------------------------------------------------- *)
 
+(* Span-clock offset: virtual time does not move while an event runs,
+   so span endpoints sit at [now + span_off] — the work already charged
+   to this CPU (horizon backlog) plus the still-undrained meter. Each
+   charge is counted exactly once. *)
+let span_off t =
+  max 0 (t.horizon - Engine.now t.engine) + Machine.pending_ns t.machine
+
+(* Open a reply span under a fresh correlation id: called at the
+   app-level send entry points, where a new message's causal chain
+   starts. The id stays ambient so the queued frame's transmit (and the
+   whole remote processing chain) inherits it. *)
+let begin_reply t =
+  if Trace.enabled () then begin
+    let corr = Trace.new_corr () in
+    Trace.set_corr corr;
+    Span.begin_span ~corr ~off:(span_off t) Trace.Reply
+  end
+
+(* A handler replying mid-run keeps the ambient id: the reply belongs
+   to the message being handled, so a request plus its in-kernel reply
+   reads as one causal chain. *)
+let begin_reply_inherit t =
+  if Trace.enabled () then
+    Span.begin_span ~corr:(Trace.current_corr ()) ~off:(span_off t)
+      Trace.Reply
+
 let do_transmit t (target, frame) =
   t.s_tx <- t.s_tx + 1;
+  if Trace.enabled () then
+    Span.end_span ~corr:(Trace.current_corr ()) ~off:(span_off t) Trace.Reply;
   match target with
   | Tx_an2 vc -> begin
       match t.an2 with
@@ -239,7 +268,10 @@ let download_ash t ?(sandbox = true) ?(hardwired = false)
        Verification is skipped — a hit proves an identical submission
        already passed under the same allowed-calls policy. *)
     t.cache_hits <- t.cache_hits + 1;
-    Ok (install_ash t ~sandbox ~hardwired ~allowed_calls ch)
+    let id = install_ash t ~sandbox ~hardwired ~allowed_calls ch in
+    if Trace.enabled () then
+      Trace.emit (Trace.Ash_download { id; cache_hit = true });
+    Ok id
   | None ->
     match Verify.check ~allowed_calls program with
     | Error e -> Error e
@@ -256,7 +288,10 @@ let download_ash t ?(sandbox = true) ?(hardwired = false)
       let ch = { c_sb_stats = sb_stats; c_exec = exec } in
       Hashtbl.add t.handler_cache key ch;
       t.cache_misses <- t.cache_misses + 1;
-      Ok (install_ash t ~sandbox ~hardwired ~allowed_calls ch)
+      let id = install_ash t ~sandbox ~hardwired ~allowed_calls ch in
+      if Trace.enabled () then
+        Trace.emit (Trace.Ash_download { id; cache_hit = false });
+      Ok id
 
 let handler_cache_stats t =
   { hits = t.cache_hits; misses = t.cache_misses;
@@ -295,12 +330,26 @@ let dilp_callback t ~id ~src ~dst ~len ~regs =
     if len < 0 || len land 3 <> 0 then false
     else begin
       let init = List.map (fun r -> (r, regs.(r))) c.Dilp.persistent in
-      match Dilp.execute ~backend:t.backend ~init t.machine c ~src ~dst ~len with
-      | { Interp.outcome = Interp.Returned; regs = final; _ } ->
+      let corr = Trace.current_corr () in
+      let c0 = Machine.consumed_cycles t.machine in
+      if Trace.enabled () then
+        Span.begin_span ~corr ~off:(span_off t) Trace.Pipe;
+      let result =
+        match
+          Dilp.execute ~backend:t.backend ~init t.machine c ~src ~dst ~len
+        with
+        | r -> Some r
+        | exception Invalid_argument _ -> None
+      in
+      if Trace.enabled () then
+        Span.end_span ~corr ~off:(span_off t)
+          ~cycles:(Machine.consumed_cycles t.machine - c0)
+          Trace.Pipe;
+      match result with
+      | Some { Interp.outcome = Interp.Returned; regs = final; _ } ->
         List.iter (fun r -> regs.(r) <- final.(r)) c.Dilp.persistent;
         true
-      | _ -> false
-      | exception Invalid_argument _ -> false
+      | Some _ | None -> false
     end
 
 (* ---------------------------------------------------------------- *)
@@ -434,21 +483,25 @@ let user_send_costs t =
      + t.costs.Costs.kern_send_ns)
 
 let user_send t ~vc frame =
+  begin_reply t;
   user_send_costs t;
   queue_tx t (Tx_an2 vc) frame;
   ignore (settle t)
 
 let kernel_send t ~vc frame =
+  begin_reply t;
   kernel_send_costs t;
   queue_tx t (Tx_an2 vc) frame;
   ignore (settle t)
 
 let eth_user_send t frame =
+  begin_reply t;
   user_send_costs t;
   queue_tx t Tx_eth frame;
   ignore (settle t)
 
 let eth_kernel_send t frame =
+  begin_reply t;
   kernel_send_costs t;
   queue_tx t Tx_eth frame;
   ignore (settle t)
@@ -486,6 +539,11 @@ let user_path t b ~addr ~len ~release =
   t.s_user <- t.s_user + 1;
   if Trace.enabled () then
     Trace.emit (Trace.User_deliver { vc = b.bvc });
+  (* Capture the id: the application handler may initiate a reply,
+     which re-points the ambient id at the new message. *)
+  let corr = Trace.current_corr () in
+  if Trace.enabled () then
+    Span.begin_span ~corr ~off:(span_off t) Trace.Deliver;
   let wait = wakeup_wait t in
   let d = settle t in
   ignore
@@ -496,7 +554,9 @@ let user_path t b ~addr ~len ~release =
           | Some h -> h ~addr ~len
           | None -> ());
          release ();
-         ignore (settle t)))
+         ignore (settle t);
+         if Trace.enabled () then
+           Span.end_span ~corr ~off:(span_off t) Trace.Deliver))
 
 (* Environment for a handler executing in the kernel (ASH). *)
 let ash_env t ~vc ~addr ~len ~allowed =
@@ -508,6 +568,7 @@ let ash_env t ~vc ~addr ~len ~allowed =
     dilp = dilp_callback t;
     send =
       (fun frame ->
+         begin_reply_inherit t;
          kernel_send_costs t;
          queue_tx t (Tx_an2 vc) frame);
     gas_cycles = Interp.default_gas;
@@ -520,6 +581,7 @@ let upcall_env t ~vc ~addr ~len ~allowed =
     (ash_env t ~vc ~addr ~len ~allowed) with
     Interp.send =
       (fun frame ->
+         begin_reply_inherit t;
          user_send_costs t;
          queue_tx t (Tx_an2 vc) frame);
   }
@@ -529,13 +591,19 @@ let eth_env base t =
     base with
     Interp.send =
       (fun frame ->
+         begin_reply_inherit t;
          kernel_send_costs t;
          queue_tx t Tx_eth frame);
   }
 
-let run_handler_common t b ~id ~addr ~len ~release ~env ~upcall ~(ash : ash) =
+let run_handler_common t b ~id ~corr ~c0 ~addr ~len ~release ~env ~upcall
+    ~(ash : ash) =
   let r = Exec.run ~backend:t.backend env ash.exec in
   ash.last <- Some r;
+  if Trace.enabled () then
+    Span.end_span ~corr ~off:(span_off t)
+      ~cycles:(Machine.consumed_cycles t.machine - c0)
+      Trace.Ash_run;
   match r.Interp.outcome with
   | Interp.Committed ->
     t.s_ash_committed <- t.s_ash_committed + 1;
@@ -549,6 +617,8 @@ let run_handler_common t b ~id ~addr ~len ~release ~env ~upcall ~(ash : ash) =
           application's address space is already active (the upcall ran
           in it), so only the poll cost applies; after an in-kernel ASH
           the application must be running or be woken. *)
+       if Trace.enabled () then
+         Span.begin_span ~corr ~off:(span_off t) Trace.Deliver;
        let wait =
          if upcall then
            t.costs.Costs.poll_detect_ns + t.costs.Costs.upcall_resume_ns
@@ -559,7 +629,9 @@ let run_handler_common t b ~id ~addr ~len ~release ~env ~upcall ~(ash : ash) =
          (Engine.schedule t.engine ~delay:(d + wait) (fun () ->
               charge_ns t t.costs.Costs.crossing_ns;
               hook ();
-              ignore (settle t))))
+              ignore (settle t);
+              if Trace.enabled () then
+                Span.end_span ~corr ~off:(span_off t) Trace.Deliver)))
   | Interp.Aborted | Interp.Returned ->
     t.s_ash_vol <- t.s_ash_vol + 1;
     if Trace.enabled () then Trace.emit (Trace.Ash_abort { id });
@@ -577,24 +649,37 @@ let ash_path t b id ~eth ~addr ~len ~release =
   let ash = find_ash t id in
   if Trace.enabled () then
     Trace.emit (Trace.Ash_dispatch { id; vc = b.bvc });
+  let corr = Trace.current_corr () in
+  let c0 = Machine.consumed_cycles t.machine in
+  if Trace.enabled () then
+    Span.begin_span ~corr ~off:(span_off t) Trace.Ash_run;
   if not ash.hardwired then begin
     charge_ns t t.costs.Costs.ash_dispatch_ns;
     if ash.sandboxed then charge_ns t (2 * t.costs.Costs.ash_timer_ns)
   end;
   let env = ash_env t ~vc:b.bvc ~addr ~len ~allowed:ash.allowed in
   let env = if eth then eth_env env t else env in
-  run_handler_common t b ~id ~addr ~len ~release ~env ~upcall:false ~ash
+  run_handler_common t b ~id ~corr ~c0 ~addr ~len ~release ~env ~upcall:false
+    ~ash
 
 let upcall_path t b id ~eth ~addr ~len ~release =
   let ash = find_ash t id in
   t.s_upcalls <- t.s_upcalls + 1;
-  if Trace.enabled () then Trace.emit (Trace.Upcall { vc = b.bvc });
+  if Trace.enabled () then begin
+    Trace.emit (Trace.Upcall { vc = b.bvc });
+    Trace.emit (Trace.Ash_dispatch { id; vc = b.bvc })
+  end;
+  let corr = Trace.current_corr () in
+  let c0 = Machine.consumed_cycles t.machine in
+  if Trace.enabled () then
+    Span.begin_span ~corr ~off:(span_off t) Trace.Ash_run;
   charge_ns t t.costs.Costs.upcall_ns;
   if t.app_state = Suspended then
     charge_ns t t.costs.Costs.upcall_suspended_extra_ns;
   let env = upcall_env t ~vc:b.bvc ~addr ~len ~allowed:ash.allowed in
   let env = if eth then eth_env env t else env in
-  run_handler_common t b ~id ~addr ~len ~release ~env ~upcall:true ~ash;
+  run_handler_common t b ~id ~corr ~c0 ~addr ~len ~release ~env ~upcall:true
+    ~ash;
   (* Return crossing from the upcall back into the kernel. *)
   charge_ns t t.costs.Costs.crossing_ns
 
@@ -617,16 +702,21 @@ let on_an2_rx t (rx : An2.rx) =
   match Hashtbl.find_opt t.bindings rx.An2.vc with
   | None ->
     t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
-    kern_drop "an2" "unbound"
+    kern_drop "an2" Trace.Unbound
   | Some b ->
+    let corr = Trace.current_corr () in
+    if Trace.enabled () then
+      Span.begin_span ~corr ~off:(span_off t) Trace.Rx_dma;
     (* Software cache flush of the message location after DMA (§V). *)
     Machine.flush_range t.machine ~addr:rx.An2.addr ~len:rx.An2.len;
     charge_ns t t.costs.Costs.kern_rx_ns;
+    if Trace.enabled () then
+      Span.end_span ~corr ~off:(span_off t) Trace.Rx_dma;
     if not rx.An2.crc_ok then begin
       (* Link-level corruption: the driver drops the frame and recycles
          the buffer; protocols recover end to end. *)
       t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
-      kern_drop "an2" "crc";
+      kern_drop "an2" Trace.Crc;
       if b.auto_repost then
         post_receive_buffer t ~vc:rx.An2.vc ~addr:rx.An2.addr
           ~len:rx.An2.buf_len;
@@ -679,34 +769,51 @@ let eth_demux t ~msg_addr ~msg_len =
 
 let on_eth_rx t (rx : Ethernet.rx) =
   let eth = match t.eth with Some e -> e | None -> assert false in
+  let corr = Trace.current_corr () in
+  let end_rx_dma () =
+    if Trace.enabled () then
+      Span.end_span ~corr ~off:(span_off t) Trace.Rx_dma
+  in
+  if Trace.enabled () then
+    Span.begin_span ~corr ~off:(span_off t) Trace.Rx_dma;
   charge_ns t t.costs.Costs.kern_rx_ns;
   if not rx.Ethernet.crc_ok then begin
     Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
+    end_rx_dma ();
     t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
-    kern_drop "eth" "crc";
+    kern_drop "eth" Trace.Crc;
     ignore (settle t)
   end
   else begin
     match take_pktbuf t with
     | None ->
       Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
+      end_rx_dma ();
       t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
-      kern_drop "eth" "no-pktbuf";
+      kern_drop "eth" Trace.No_pktbuf;
       ignore (settle t)
     | Some pktbuf ->
       (* The mandatory copy out of the device's limited buffers
          (§V-A1), de-striping as it goes (§III-C). *)
       Ethernet.destripe eth rx ~dst:pktbuf;
       Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
+      end_rx_dma ();
       let len = rx.Ethernet.len in
       let release () = t.eth_pktbufs <- pktbuf :: t.eth_pktbufs in
+      let c0 = Machine.consumed_cycles t.machine in
+      if Trace.enabled () then
+        Span.begin_span ~corr ~off:(span_off t) Trace.Demux;
       let matching = eth_demux t ~msg_addr:pktbuf ~msg_len:len in
+      if Trace.enabled () then
+        Span.end_span ~corr ~off:(span_off t)
+          ~cycles:(Machine.consumed_cycles t.machine - c0)
+          Trace.Demux;
       (match matching with
        | None ->
          release ();
          t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
          if Trace.enabled () then Trace.emit Trace.Dpf_miss;
-         kern_drop "eth" "dpf-miss";
+         kern_drop "eth" Trace.Dpf_miss;
          ignore (settle t)
        | Some b ->
          if Trace.enabled () then

@@ -81,6 +81,13 @@ val eth_demux_mode : t -> demux
 val set_eth_demux : t -> demux -> unit
 (** Switch demux strategy (tests compare the two on live bindings). *)
 
+val span_off : t -> int
+(** Span-clock offset for tracing on this node: work already charged to
+    the CPU (horizon backlog) plus the undrained meter, in ns. Pass to
+    {!Ash_obs.Span.begin_span}/[end_span] so span endpoints land where
+    the modelled work actually completes, not at the frozen event
+    time. *)
+
 val teardown : t -> unit
 (** Drop every downloaded artifact: handler cache, ASH registry and
     DILP registry. The kernel must not deliver messages afterwards. *)

@@ -4,6 +4,7 @@ module Memory = Ash_sim.Memory
 module Costs = Ash_sim.Costs
 module Crc32 = Ash_util.Crc32
 module Trace = Ash_obs.Trace
+module Span = Ash_obs.Span
 
 let max_frame = 4096
 
@@ -90,22 +91,29 @@ let set_rx_handler t f = t.rx_handler <- f
 (* Deliver a frame that has finished crossing the wire: board-side VC
    demux, DMA into the next posted buffer, CRC verdict, driver upcall. *)
 let deliver t ~vc ~payload ~crc_sent =
-  match Hashtbl.find_opt t.vcs vc with
+  (* The board's VC table lookup is the AN2's entire demux stage: the
+     sender named the channel, so the span is zero-width on the span
+     clock (no CPU charged). *)
+  let corr = Trace.current_corr () in
+  Span.begin_span ~corr Trace.Demux;
+  let binding = Hashtbl.find_opt t.vcs vc in
+  Span.end_span ~corr Trace.Demux;
+  match binding with
   | None ->
     t.rx_dropped_no_vc <- t.rx_dropped_no_vc + 1;
-    drop "no-vc"
+    drop Trace.No_vc
   | Some s -> begin
       match s.buffers with
       | [] ->
         t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1;
-        drop "no-buffer"
+        drop Trace.No_buffer
       | (addr, buf_len) :: rest ->
         let len = Bytes.length payload in
         if len > buf_len then begin
           (* A frame bigger than the posted buffer is a binding error;
              the board drops it rather than overrunning memory. *)
           t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1;
-          drop "too-big"
+          drop Trace.Too_big
         end
         else begin
           s.buffers <- rest;

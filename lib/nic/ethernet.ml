@@ -93,7 +93,7 @@ let deliver t ~payload ~crc_sent =
   | [] ->
     t.rx_dropped_no_buffer <- t.rx_dropped_no_buffer + 1;
     if Trace.enabled () then
-      Trace.emit (Trace.Pkt_drop { nic = "eth"; reason = "no-buffer" })
+      Trace.emit (Trace.Pkt_drop { nic = "eth"; reason = Trace.No_buffer })
   | slot :: rest ->
     t.free_ring <- rest;
     t.outstanding <- slot :: t.outstanding;

@@ -1,5 +1,6 @@
 module Engine = Ash_sim.Engine
 module Trace = Ash_obs.Trace
+module Span = Ash_obs.Span
 
 type t = {
   engine : Engine.t;
@@ -20,9 +21,19 @@ let transmit t ~bytes deliver =
     + int_of_float (Float.round (float_of_int bytes *. t.ns_per_byte))
   in
   t.free_at <- start + wire;
-  if Trace.enabled () then
+  (* Last chance to name the message: if nothing upstream allocated a
+     correlation id, the frame gets one here. The wire span covers
+     queueing behind earlier frames, serialization, and propagation —
+     both endpoints sit on real virtual times, so no offset. *)
+  let corr = if Trace.enabled () then Trace.ensure_corr () else 0 in
+  if Trace.enabled () then begin
     Trace.emit (Trace.Wire_tx { bytes; busy_until = t.free_at });
+    Span.begin_span ~corr Trace.Wire
+  end;
   let arrival = start + wire + t.fixed_ns in
-  ignore (Engine.schedule_at t.engine ~at:arrival (fun () -> deliver ()))
+  ignore
+    (Engine.schedule_at t.engine ~at:arrival (fun () ->
+         if Trace.enabled () then Span.end_span ~corr Trace.Wire;
+         deliver ()))
 
 let busy_until t = t.free_at

@@ -10,3 +10,10 @@ val pp_recorder :
 val to_json : Trace.recorder -> string
 (** Full machine-readable dump: every retained event plus counters and
     histogram summaries, as a single JSON object. *)
+
+val to_chrome_json : Trace.recorder -> string
+(** Chrome-trace-event JSON (loadable in Perfetto / chrome://tracing).
+    One "process" per message (pid = correlation id), one thread per
+    stage, B/E pairs from matched span intervals, instants for other
+    correlated events; timestamps in span-clock microseconds, sorted
+    non-decreasing. *)

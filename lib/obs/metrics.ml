@@ -7,24 +7,52 @@ type t = {
 
 let create () = { counters = Hashtbl.create 32; histos = Hashtbl.create 16 }
 
+(* Hot path: called once per traced event. [Hashtbl.find] + handler
+   avoids the option allocation of [find_opt]; the raise only happens
+   the first time a counter is seen. *)
 let incr t ?(by = 1) name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters name (ref by)
+  match Hashtbl.find t.counters name with
+  | r -> r := !r + by
+  | exception Not_found -> Hashtbl.add t.counters name (ref by)
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
+let counter_ref t name =
+  match Hashtbl.find t.counters name with
+  | r -> r
+  | exception Not_found ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let histo_ref t name =
+  match Hashtbl.find t.histos name with
+  | h -> h
+  | exception Not_found ->
+    let h = { samples = []; count = 0 } in
+    Hashtbl.add t.histos name h;
+    h
+
+let observe_ref h v =
+  h.samples <- v :: h.samples;
+  h.count <- h.count + 1
+
+(* Zero-valued cells (interned but never bumped, or zeroed by [clear])
+   are not observations; keep them out of dumps. *)
 let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  Hashtbl.fold
+    (fun name r acc -> if !r = 0 then acc else (name, !r) :: acc)
+    t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let observe t name v =
-  match Hashtbl.find_opt t.histos name with
-  | Some h ->
+  match Hashtbl.find t.histos name with
+  | h ->
     h.samples <- v :: h.samples;
     h.count <- h.count + 1
-  | None -> Hashtbl.add t.histos name { samples = [ v ]; count = 1 }
+  | exception Not_found ->
+    Hashtbl.add t.histos name { samples = [ v ]; count = 1 }
 
 type summary = {
   count : int;
@@ -66,9 +94,16 @@ let histograms t =
     t.histos []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Zero in place rather than resetting the tables: emission paths may
+   hold interned {!counter_ref}/{!histo_ref} handles, which must stay
+   live across a clear. *)
 let clear t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.histos
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter
+    (fun _ h ->
+       h.samples <- [];
+       h.count <- 0)
+    t.histos
 
 let pp_summary ppf s =
   Format.fprintf ppf

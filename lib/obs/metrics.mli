@@ -8,6 +8,19 @@ val incr : t -> ?by:int -> string -> unit
 val counter : t -> string -> int
 (** Reading an unknown counter returns 0. *)
 
+val counter_ref : t -> string -> int ref
+(** The live cell behind a counter (created at 0 on first use). Hot
+    emission paths hold the ref and bump it directly, skipping the
+    per-event name hash. *)
+
+type histo
+
+val histo_ref : t -> string -> histo
+(** Same interning for histograms: the returned handle feeds
+    {!observe_ref} without a per-sample table lookup. *)
+
+val observe_ref : histo -> float -> unit
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name (deterministic dump order). *)
 

@@ -1,9 +1,55 @@
+(* Closed drop-reason vocabulary: counters derived from drops cannot
+   fragment on emission-site typos. Labels (below) are the historical
+   strings. *)
+type drop_reason =
+  | Crc
+  | Unbound
+  | No_buffer
+  | No_vc
+  | No_pktbuf
+  | Dpf_miss
+  | Too_big
+
+let drop_reason_label = function
+  | Crc -> "crc"
+  | Unbound -> "unbound"
+  | No_buffer -> "no-buffer"
+  | No_vc -> "no-vc"
+  | No_pktbuf -> "no-pktbuf"
+  | Dpf_miss -> "dpf-miss"
+  | Too_big -> "too-big"
+
+(* The causal stages one message passes through (the paper's Table 2/6
+   decomposition). Every span event names one of these. *)
+type stage =
+  | Wire
+  | Rx_dma
+  | Demux
+  | Ash_run
+  | Pipe
+  | Proto
+  | Deliver
+  | Reply
+
+let stage_label = function
+  | Wire -> "wire"
+  | Rx_dma -> "rx-dma"
+  | Demux -> "demux"
+  | Ash_run -> "ash-run"
+  | Pipe -> "pipe"
+  | Proto -> "proto"
+  | Deliver -> "deliver"
+  | Reply -> "reply"
+
+let all_stages =
+  [ Wire; Rx_dma; Demux; Ash_run; Pipe; Proto; Deliver; Reply ]
+
 type kind =
   | Ev_scheduled of { at : int }
   | Ev_fired
   | Pkt_tx of { nic : string; bytes : int }
   | Pkt_rx of { nic : string; bytes : int }
-  | Pkt_drop of { nic : string; reason : string }
+  | Pkt_drop of { nic : string; reason : drop_reason }
   | Wire_tx of { bytes : int; busy_until : int }
   | Dpf_eval of { compiled : bool; matched : bool }
   | Dpf_match of { vc : int }
@@ -26,9 +72,12 @@ type kind =
   | Dilp_run of { name : string; len : int }
   | Tcp_fast_hit
   | Tcp_fast_miss
+  | Ash_download of { id : int; cache_hit : bool }
+  | Span_begin of { corr : int; stage : stage; off : int }
+  | Span_end of { corr : int; stage : stage; off : int; cycles : int }
   | Mark of string
 
-type event = { seq : int; ts : int; kind : kind }
+type event = { seq : int; ts : int; corr : int; kind : kind }
 
 (* ---------------------------------------------------------------- *)
 (* Global emission point                                             *)
@@ -65,6 +114,54 @@ let clear_sink () =
   enabled_flag := false
 
 (* ---------------------------------------------------------------- *)
+(* Correlation ids and span sampling                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* A correlation id names one message's causal chain. It is allocated
+   when an application initiates a send (or, failing that, at NIC
+   transmit), travels through the engine's event queue (each scheduled
+   event captures the ambient id and restores it around dispatch), and
+   stamps every event emitted while handling the message. Id 0 means
+   "no message in flight". *)
+let corr_counter = ref 0
+let ambient_corr = ref 0
+
+let new_corr () =
+  incr corr_counter;
+  !corr_counter
+
+let current_corr () = !ambient_corr
+let set_corr c = ambient_corr := c
+
+let ensure_corr () =
+  if !ambient_corr = 0 then ambient_corr := new_corr ();
+  !ambient_corr
+
+let with_corr c f =
+  let prev = !ambient_corr in
+  ambient_corr := c;
+  Fun.protect ~finally:(fun () -> ambient_corr := prev) f
+
+let reset_corr () =
+  corr_counter := 0;
+  ambient_corr := 0
+
+(* Span sampling: record every Nth message's spans. Counters and
+   non-span events stay exact; only [Span_begin]/[Span_end] emission is
+   gated (all endpoints of one message share the same verdict, so pairs
+   never tear). *)
+let span_sample_every = ref 1
+
+let set_span_sample n =
+  if n < 1 then invalid_arg "Trace.set_span_sample: n must be >= 1";
+  span_sample_every := n
+
+let span_sample () = !span_sample_every
+
+let span_on corr =
+  !enabled_flag && corr > 0 && (corr - 1) mod !span_sample_every = 0
+
+(* ---------------------------------------------------------------- *)
 (* Labels and structured fields (shared by text and JSON dumps)      *)
 (* ---------------------------------------------------------------- *)
 
@@ -90,6 +187,9 @@ let label = function
   | Dilp_run _ -> "dilp.run"
   | Tcp_fast_hit -> "tcp.fast.hit"
   | Tcp_fast_miss -> "tcp.fast.miss"
+  | Ash_download _ -> "ash.download"
+  | Span_begin _ -> "span.begin"
+  | Span_end _ -> "span.end"
   | Mark _ -> "mark"
 
 let fields = function
@@ -97,7 +197,8 @@ let fields = function
   | Ev_fired -> []
   | Pkt_tx { nic; bytes } | Pkt_rx { nic; bytes } ->
     [ ("nic", nic); ("bytes", string_of_int bytes) ]
-  | Pkt_drop { nic; reason } -> [ ("nic", nic); ("reason", reason) ]
+  | Pkt_drop { nic; reason } ->
+    [ ("nic", nic); ("reason", drop_reason_label reason) ]
   | Wire_tx { bytes; busy_until } ->
     [ ("bytes", string_of_int bytes); ("busy_until", string_of_int busy_until) ]
   | Dpf_eval { compiled; matched } ->
@@ -122,6 +223,14 @@ let fields = function
   | Dilp_run { name; len } ->
     [ ("name", name); ("len", string_of_int len) ]
   | Tcp_fast_hit | Tcp_fast_miss -> []
+  | Ash_download { id; cache_hit } ->
+    [ ("id", string_of_int id); ("cache_hit", string_of_bool cache_hit) ]
+  | Span_begin { corr; stage; off } ->
+    [ ("corr", string_of_int corr); ("stage", stage_label stage);
+      ("off", string_of_int off) ]
+  | Span_end { corr; stage; off; cycles } ->
+    [ ("corr", string_of_int corr); ("stage", stage_label stage);
+      ("off", string_of_int off); ("cycles", string_of_int cycles) ]
   | Mark m -> [ ("label", m) ]
 
 let pp_kind ppf k =
@@ -144,52 +253,138 @@ type recorder = {
 
 let default_capacity = 65_536
 
-let dummy_event = { seq = -1; ts = 0; kind = Ev_fired }
+let dummy_event = { seq = -1; ts = 0; corr = 0; kind = Ev_fired }
 
 (* Counter/histogram derivation keeps the emission sites trivial: they
-   describe what happened; accounting policy lives here. *)
-let account m kind =
-  let c name = Metrics.incr m name in
-  match kind with
-  | Ev_scheduled _ -> c "engine.scheduled"
-  | Ev_fired -> c "engine.fired"
-  | Pkt_tx { nic; _ } -> c ("pkt.tx." ^ nic)
-  | Pkt_rx { nic; _ } -> c ("pkt.rx." ^ nic)
-  | Pkt_drop { nic; reason } -> c ("pkt.drop." ^ nic ^ "." ^ reason)
-  | Wire_tx { bytes; _ } ->
-    c "wire.tx";
-    Metrics.observe m "wire.tx.bytes" (float_of_int bytes)
-  | Dpf_eval { compiled; matched } ->
-    c (if compiled then "dpf.eval.compiled" else "dpf.eval.interpreted");
-    c (if matched then "dpf.eval.matched" else "dpf.eval.rejected")
-  | Dpf_match _ -> c "dpf.match"
-  | Dpf_miss -> c "dpf.miss"
-  | Upcall _ -> c "kern.upcall"
-  | User_deliver _ -> c "kern.user_deliver"
-  | Ash_dispatch _ -> c "ash.dispatch"
-  | Ash_commit _ -> c "ash.commit"
-  | Ash_abort _ -> c "ash.abort"
-  | Ash_kill _ -> c "ash.kill"
-  | Sandbox_violation _ -> c "sandbox.violation"
-  | Vm_run { outcome; insns; check_insns; cycles; _ } ->
-    c "vm.run";
-    c ("vm.outcome." ^ outcome);
-    Metrics.observe m "vm.cycles" (float_of_int cycles);
-    Metrics.observe m "vm.insns" (float_of_int insns);
-    if check_insns > 0 then
-      Metrics.observe m "vm.check_insns" (float_of_int check_insns)
-  | Dilp_compile { insns; _ } ->
-    c "dilp.compile";
-    Metrics.observe m "dilp.compile.insns" (float_of_int insns)
-  | Dilp_run { len; _ } ->
-    c "dilp.run";
-    Metrics.observe m "dilp.run.bytes" (float_of_int len)
-  | Tcp_fast_hit -> c "tcp.fast.hit"
-  | Tcp_fast_miss -> c "tcp.fast.miss"
-  | Mark _ -> c "mark"
+   describe what happened; accounting policy lives here.
+
+   [account] is staged: the outer call (once per recorder) interns a
+   live cell for every known counter and histogram, so the per-event
+   inner function bumps refs directly — no string hashing, no name
+   allocation. Unknown names (test NICs, future outcomes) fall back to
+   the by-name path. *)
+let account m =
+  let c = Metrics.counter_ref m in
+  let h = Metrics.histo_ref m in
+  let scheduled = c "engine.scheduled" in
+  let fired = c "engine.fired" in
+  let tx_an2 = c "pkt.tx.an2" in
+  let tx_eth = c "pkt.tx.eth" in
+  let rx_an2 = c "pkt.rx.an2" in
+  let rx_eth = c "pkt.rx.eth" in
+  let wire_tx = c "wire.tx" in
+  let wire_tx_bytes = h "wire.tx.bytes" in
+  let dpf_compiled = c "dpf.eval.compiled" in
+  let dpf_interpreted = c "dpf.eval.interpreted" in
+  let dpf_matched = c "dpf.eval.matched" in
+  let dpf_rejected = c "dpf.eval.rejected" in
+  let dpf_match = c "dpf.match" in
+  let dpf_miss = c "dpf.miss" in
+  let upcall = c "kern.upcall" in
+  let user_deliver = c "kern.user_deliver" in
+  let ash_dispatch = c "ash.dispatch" in
+  let ash_commit = c "ash.commit" in
+  let ash_abort = c "ash.abort" in
+  let ash_kill = c "ash.kill" in
+  let sandbox_violation = c "sandbox.violation" in
+  let vm_run = c "vm.run" in
+  let vm_commit = c "vm.outcome.commit" in
+  let vm_abort = c "vm.outcome.abort" in
+  let vm_return = c "vm.outcome.return" in
+  let vm_kill = c "vm.outcome.kill" in
+  let vm_cycles = h "vm.cycles" in
+  let vm_insns = h "vm.insns" in
+  let vm_check_insns = h "vm.check_insns" in
+  let dilp_compile = c "dilp.compile" in
+  let dilp_compile_insns = h "dilp.compile.insns" in
+  let dilp_run = c "dilp.run" in
+  let dilp_run_bytes = h "dilp.run.bytes" in
+  let tcp_hit = c "tcp.fast.hit" in
+  let tcp_miss = c "tcp.fast.miss" in
+  let download = c "ash.download" in
+  let cache_hit = c "ash.cache.hit" in
+  let cache_miss = c "ash.cache.miss" in
+  let mark = c "mark" in
+  let span_cell =
+    let wire = c "span.wire" in
+    let rx_dma = c "span.rx-dma" in
+    let demux = c "span.demux" in
+    let ash_run = c "span.ash-run" in
+    let pipe = c "span.pipe" in
+    let proto = c "span.proto" in
+    let deliver = c "span.deliver" in
+    let reply = c "span.reply" in
+    function
+    | Wire -> wire
+    | Rx_dma -> rx_dma
+    | Demux -> demux
+    | Ash_run -> ash_run
+    | Pipe -> pipe
+    | Proto -> proto
+    | Deliver -> deliver
+    | Reply -> reply
+  in
+  let bump r = Stdlib.incr r in
+  fun kind ->
+    match kind with
+    | Ev_scheduled _ -> bump scheduled
+    | Ev_fired -> bump fired
+    | Pkt_tx { nic = "an2"; _ } -> bump tx_an2
+    | Pkt_tx { nic = "eth"; _ } -> bump tx_eth
+    | Pkt_tx { nic; _ } -> Metrics.incr m ("pkt.tx." ^ nic)
+    | Pkt_rx { nic = "an2"; _ } -> bump rx_an2
+    | Pkt_rx { nic = "eth"; _ } -> bump rx_eth
+    | Pkt_rx { nic; _ } -> Metrics.incr m ("pkt.rx." ^ nic)
+    | Pkt_drop { nic; reason } ->
+      Metrics.incr m ("pkt.drop." ^ nic ^ "." ^ drop_reason_label reason)
+    | Wire_tx { bytes; _ } ->
+      bump wire_tx;
+      Metrics.observe_ref wire_tx_bytes (float_of_int bytes)
+    | Dpf_eval { compiled; matched } ->
+      bump (if compiled then dpf_compiled else dpf_interpreted);
+      bump (if matched then dpf_matched else dpf_rejected)
+    | Dpf_match _ -> bump dpf_match
+    | Dpf_miss -> bump dpf_miss
+    | Upcall _ -> bump upcall
+    | User_deliver _ -> bump user_deliver
+    | Ash_dispatch _ -> bump ash_dispatch
+    | Ash_commit _ -> bump ash_commit
+    | Ash_abort _ -> bump ash_abort
+    | Ash_kill _ -> bump ash_kill
+    | Sandbox_violation _ -> bump sandbox_violation
+    | Vm_run { outcome; insns; check_insns; cycles; _ } ->
+      bump vm_run;
+      (match outcome with
+       | "commit" -> bump vm_commit
+       | "abort" -> bump vm_abort
+       | "return" -> bump vm_return
+       | "kill" -> bump vm_kill
+       | o -> Metrics.incr m ("vm.outcome." ^ o));
+      Metrics.observe_ref vm_cycles (float_of_int cycles);
+      Metrics.observe_ref vm_insns (float_of_int insns);
+      if check_insns > 0 then
+        Metrics.observe_ref vm_check_insns (float_of_int check_insns)
+    | Dilp_compile { insns; _ } ->
+      bump dilp_compile;
+      Metrics.observe_ref dilp_compile_insns (float_of_int insns)
+    | Dilp_run { len; _ } ->
+      bump dilp_run;
+      Metrics.observe_ref dilp_run_bytes (float_of_int len)
+    | Tcp_fast_hit -> bump tcp_hit
+    | Tcp_fast_miss -> bump tcp_miss
+    | Ash_download { cache_hit = hit; _ } ->
+      bump download;
+      bump (if hit then cache_hit else cache_miss)
+    | Span_begin _ -> ()
+    | Span_end { stage; _ } -> bump (span_cell stage)
+    | Mark _ -> bump mark
 
 let record ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Trace.record: capacity must be positive";
+  (* Restart correlation numbering with the recorder so same-seed runs
+     produce identical streams (test_determinism compares kinds, which
+     now embed correlation ids). *)
+  reset_corr ();
   let r =
     {
       cap = capacity;
@@ -198,11 +393,12 @@ let record ?(capacity = default_capacity) () =
       metrics = Metrics.create ();
     }
   in
+  let acct = account r.metrics in
   set_sink (fun kind ->
-      let e = { seq = r.total; ts = now (); kind } in
+      let e = { seq = r.total; ts = now (); corr = current_corr (); kind } in
       r.ring.(r.total mod r.cap) <- e;
       r.total <- r.total + 1;
-      account r.metrics kind);
+      acct kind);
   r
 
 let stop _r = clear_sink ()

@@ -4,12 +4,46 @@
     default the sink is a no-op (one flag load on the hot path; emission
     sites guard on {!enabled} so event payloads are never allocated when
     tracing is off). Installing a {!recorder} captures events into a
-    bounded in-memory ring, stamps them with virtual time, and derives
-    named counters and histograms from them.
+    bounded in-memory ring, stamps them with virtual time and the
+    ambient correlation id, and derives named counters and histograms
+    from them.
 
     A recorded run is a replayable, assertable event stream: the
     determinism and differential test suites compare streams
     structurally, and [ashbench --trace] dumps them for inspection. *)
+
+(** Why a frame was dropped. A closed vocabulary so drop counters
+    cannot fragment on emission-site typos; {!drop_reason_label} gives
+    the stable rendered strings. *)
+type drop_reason =
+  | Crc  (** checksum failed on receive *)
+  | Unbound  (** VC has no registered handler *)
+  | No_buffer  (** receive queue full *)
+  | No_vc  (** frame named a VC outside the table *)
+  | No_pktbuf  (** kernel packet-buffer pool exhausted *)
+  | Dpf_miss  (** demux matched no filter *)
+  | Too_big  (** frame exceeds the link MTU *)
+
+val drop_reason_label : drop_reason -> string
+(** Stable dashed label, e.g. ["no-pktbuf"]. *)
+
+(** The causal stages one message passes through — the paper's
+    Table 2/6 decomposition. Every span event names one of these. *)
+type stage =
+  | Wire  (** serialization + propagation on the link *)
+  | Rx_dma  (** NIC receive DMA and per-frame kernel rx work *)
+  | Demux  (** VC lookup / DPF evaluation *)
+  | Ash_run  (** in-kernel handler execution (incl. pipes it calls) *)
+  | Pipe  (** DILP integrated copy/checksum words *)
+  | Proto  (** protocol library processing (UDP/TCP) *)
+  | Deliver  (** upcall + application handler *)
+  | Reply  (** send-side work from app call to NIC transmit *)
+
+val stage_label : stage -> string
+(** Stable dashed label, e.g. ["ash-run"]. *)
+
+val all_stages : stage list
+(** Every stage, in causal order. *)
 
 (** The trace event taxonomy. Field units: [bytes] are frame bytes,
     [cycles] are simulated CPU cycles, timestamps are virtual ns. *)
@@ -18,9 +52,7 @@ type kind =
   | Ev_fired  (** engine event dispatched *)
   | Pkt_tx of { nic : string; bytes : int }  (** frame left a NIC *)
   | Pkt_rx of { nic : string; bytes : int }  (** frame DMA'd into memory *)
-  | Pkt_drop of { nic : string; reason : string }
-      (** frame lost: "crc", "unbound", "no-buffer", "no-vc",
-          "no-pktbuf", "dpf-miss", "too-big" *)
+  | Pkt_drop of { nic : string; reason : drop_reason }  (** frame lost *)
   | Wire_tx of { bytes : int; busy_until : int }
       (** link-level occupancy: the wire is busy until [busy_until] *)
   | Dpf_eval of { compiled : bool; matched : bool }
@@ -46,9 +78,18 @@ type kind =
   | Dilp_run of { name : string; len : int }
   | Tcp_fast_hit  (** TCP fast-path handler committed *)
   | Tcp_fast_miss  (** segment fell back to the library path *)
+  | Ash_download of { id : int; cache_hit : bool }
+      (** handler installed, noting whether PR 2's cache supplied it *)
+  | Span_begin of { corr : int; stage : stage; off : int }
+      (** stage span opened for message [corr]; the span clock is
+          [event ts + off] (see {!Span}) *)
+  | Span_end of { corr : int; stage : stage; off : int; cycles : int }
+      (** stage span closed; [cycles] is the CPU work metered inside *)
   | Mark of string  (** free-form annotation *)
 
-type event = { seq : int; ts : int; kind : kind }
+type event = { seq : int; ts : int; corr : int; kind : kind }
+(** [corr] is the correlation id ambient when the event was emitted
+    (0 when no message was in flight). *)
 
 val set_clock : (unit -> int) -> unit
 (** Register the virtual-time source used to stamp events. The
@@ -73,6 +114,46 @@ val emit : kind -> unit
 val set_sink : (kind -> unit) -> unit
 val clear_sink : unit -> unit
 
+(** {1 Correlation ids}
+
+    A correlation id names one message's causal chain, from the
+    application call that initiated it through every kernel, NIC, and
+    handler event it triggers — including an in-kernel ASH reply. Id 0
+    means "no message in flight". The id is ambient: the engine captures
+    it into each scheduled event and restores it around dispatch, so
+    asynchronous continuations inherit the id of the message that
+    scheduled them. *)
+
+val new_corr : unit -> int
+(** Allocate a fresh (positive) correlation id without installing it. *)
+
+val current_corr : unit -> int
+(** The ambient correlation id (0 when none). *)
+
+val set_corr : int -> unit
+(** Install [c] as the ambient correlation id. *)
+
+val ensure_corr : unit -> int
+(** The ambient id, allocating and installing a fresh one if none. *)
+
+val with_corr : int -> (unit -> 'a) -> 'a
+(** Run [f] with the ambient id set to [c], restoring on exit. *)
+
+(** {1 Span sampling}
+
+    [set_span_sample n] records every [n]th message's spans (messages
+    [1, n+1, 2n+1, ...]). Counters and non-span events stay exact; only
+    {!kind.Span_begin}/{!kind.Span_end} emission is gated, and all
+    endpoints of one message share the same verdict so pairs never
+    tear. *)
+
+val set_span_sample : int -> unit
+(** Raises [Invalid_argument] when [n < 1]. Default 1 (every message). *)
+
+val span_sample : unit -> int
+val span_on : int -> bool
+(** [span_on corr]: should spans for message [corr] be emitted now? *)
+
 val label : kind -> string
 (** Stable dotted name of the event type, e.g. ["ash.dispatch"]. *)
 
@@ -91,7 +172,8 @@ type recorder
 val default_capacity : int
 
 val record : ?capacity:int -> unit -> recorder
-(** Create a recorder and install it as the global sink. *)
+(** Create a recorder and install it as the global sink. Also restarts
+    correlation numbering so same-seed runs produce identical streams. *)
 
 val stop : recorder -> unit
 (** Uninstall the global sink (the recorder's contents stay readable). *)

@@ -420,7 +420,7 @@ let handle_closing t (tcp : Packet.Tcp.t) ~plen =
     if our_fin_acked then finish ()
   end
 
-let on_segment t ~addr ~len =
+let on_segment_body t ~addr ~len =
   (* In the fast-path modes, reaching the library means the handler
      voluntarily aborted (or the segment arrived before setup). *)
   (match t.cfg.mode with
@@ -494,6 +494,16 @@ let on_segment t ~addr ~len =
        else handle_closing t tcp ~plen
      end);
   tcb_set t Tcb.off_lib_busy 0
+
+let on_segment t ~addr ~len =
+  let module Trace = Ash_obs.Trace in
+  let module Span = Ash_obs.Span in
+  let corr = Trace.current_corr () in
+  if Trace.enabled () then
+    Span.begin_span ~corr ~off:(Kernel.span_off t.kernel) Trace.Proto;
+  on_segment_body t ~addr ~len;
+  if Trace.enabled () then
+    Span.end_span ~corr ~off:(Kernel.span_off t.kernel) Trace.Proto
 
 (* Library reaction to a fast-path commit: sync with the TCB on the
    next poll. *)

@@ -59,7 +59,7 @@ let headers_len = Packet.ip_header_len + Packet.udp_header_len
 (* The receive path of the library: header validation, optional
    end-to-end checksum, then either in-place delivery or the
    read-interface copy into application data structures (§IV-D). *)
-let on_datagram t ~addr ~len =
+let on_datagram_body t ~addr ~len =
   let m = Kernel.machine t.kernel in
   Kernel.app_compute t.kernel Protocost.udp_rx_overhead_ns;
   if len < headers_len then t.s_bad_hdr <- t.s_bad_hdr + 1
@@ -118,6 +118,16 @@ let on_datagram t ~addr ~len =
           end
       end
   end
+
+let on_datagram t ~addr ~len =
+  let module Trace = Ash_obs.Trace in
+  let module Span = Ash_obs.Span in
+  let corr = Trace.current_corr () in
+  if Trace.enabled () then
+    Span.begin_span ~corr ~off:(Kernel.span_off t.kernel) Trace.Proto;
+  on_datagram_body t ~addr ~len;
+  if Trace.enabled () then
+    Span.end_span ~corr ~off:(Kernel.span_off t.kernel) Trace.Proto
 
 let repost_rx_buffer t ~addr ~len =
   match t.cfg.medium with

@@ -1,6 +1,7 @@
 type event = {
   time : Time.ns;
   seq : int;
+  corr : int; (* correlation id ambient when the event was scheduled *)
   action : unit -> unit;
   mutable cancelled : bool;
 }
@@ -12,7 +13,7 @@ module Heap = struct
   type t = { mutable arr : event array; mutable len : int }
 
   let dummy =
-    { time = 0; seq = 0; action = (fun () -> ()); cancelled = true }
+    { time = 0; seq = 0; corr = 0; action = (fun () -> ()); cancelled = true }
 
   let create () = { arr = Array.make 64 dummy; len = 0 }
 
@@ -85,7 +86,15 @@ let schedule_at t ~at action =
   if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   if Ash_obs.Trace.enabled () then
     Ash_obs.Trace.emit (Ash_obs.Trace.Ev_scheduled { at });
-  let e = { time = at; seq = t.next_seq; action; cancelled = false } in
+  let e =
+    {
+      time = at;
+      seq = t.next_seq;
+      corr = Ash_obs.Trace.current_corr ();
+      action;
+      cancelled = false;
+    }
+  in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.heap e;
@@ -123,7 +132,13 @@ let step_unscoped t =
       t.clock <- e.time;
       if Ash_obs.Trace.enabled () then
         Ash_obs.Trace.emit Ash_obs.Trace.Ev_fired;
-      e.action ();
+      (* Asynchronous continuations inherit the correlation id of the
+         message that scheduled them. *)
+      let prev = Ash_obs.Trace.current_corr () in
+      Ash_obs.Trace.set_corr e.corr;
+      Fun.protect
+        ~finally:(fun () -> Ash_obs.Trace.set_corr prev)
+        e.action;
       true
     end
 

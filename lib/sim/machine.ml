@@ -33,6 +33,8 @@ let take_ns t =
   t.meter_ns <- 0;
   ns
 
+let pending_ns t = t.meter_ns + Costs.cycles_to_ns t.costs t.meter_cycles
+
 let consumed_cycles t = t.total_cycles
 
 let load_cost t addr size =

@@ -24,6 +24,10 @@ val take_ns : t -> Time.ns
 (** Drain the meter: total accumulated work in nanoseconds, resetting it
     to zero. *)
 
+val pending_ns : t -> Time.ns
+(** What {!take_ns} would return, without draining. Used by the tracer's
+    span clock to place endpoints inside an undrained stretch of work. *)
+
 val consumed_cycles : t -> int
 (** Cycles charged since creation (monotonic; unaffected by [take_ns]). *)
 

@@ -4,15 +4,18 @@
 module Trace = Ash_obs.Trace
 module Metrics = Ash_obs.Metrics
 module Dump = Ash_obs.Dump
+module Span = Ash_obs.Span
+module Profile = Ash_obs.Profile
 
-(* Every test leaves the global sink uninstalled and the clock at the
-   default; run them through this wrapper to be safe against failures
-   mid-test. *)
+(* Every test leaves the global sink uninstalled, the clock at the
+   default and span sampling at 1; run them through this wrapper to be
+   safe against failures mid-test. *)
 let isolated f () =
   Fun.protect
     ~finally:(fun () ->
       Trace.clear_sink ();
-      Trace.set_clock (fun () -> 0))
+      Trace.set_clock (fun () -> 0);
+      Trace.set_span_sample 1)
     f
 
 let test_null_sink_is_off () =
@@ -81,7 +84,7 @@ let test_counters_derived () =
   Trace.emit (Trace.Ash_commit { id = 1 });
   Trace.emit (Trace.Ash_dispatch { id = 1; vc = 7 });
   Trace.emit (Trace.Ash_abort { id = 1 });
-  Trace.emit (Trace.Pkt_drop { nic = "an2"; reason = "crc" });
+  Trace.emit (Trace.Pkt_drop { nic = "an2"; reason = Trace.Crc });
   Trace.emit (Trace.Dpf_eval { compiled = true; matched = true });
   Trace.emit (Trace.Dpf_eval { compiled = false; matched = false });
   Trace.stop r;
@@ -222,6 +225,256 @@ let test_two_engines_stamp_their_own_events () =
      creation-time clock (the last engine created). *)
   Alcotest.(check int) "outside dispatch: last-created clock" 9 (Trace.now ())
 
+(* -- satellite: wraparound keeps exact counters ---------------------- *)
+
+let test_wraparound_counters_exact () =
+  let r = Trace.record ~capacity:4 () in
+  for i = 0 to 10 do
+    Trace.emit (Trace.Mark (string_of_int i))
+  done;
+  Trace.stop r;
+  Alcotest.(check int) "total counts every emission" 11 (Trace.total r);
+  Alcotest.(check int) "dropped = total - capacity" 7 (Trace.dropped r);
+  Alcotest.(check (list int)) "ring keeps the most recent capacity"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Trace.seq) (Trace.events r));
+  (* Counters are derived from the full stream, not the ring. *)
+  Alcotest.(check int) "counter unaffected by ring eviction" 11
+    (Metrics.counter (Trace.metrics r) "mark")
+
+(* -- spans ----------------------------------------------------------- *)
+
+let test_span_pairing () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  let r = Trace.record () in
+  (* Same event time, offsets carry the work clock. *)
+  t := 10;
+  Span.begin_span ~corr:1 ~off:5 Trace.Ash_run;
+  Span.end_span ~corr:1 ~off:25 ~cycles:7 Trace.Ash_run;
+  t := 40;
+  Span.begin_span ~corr:2 Trace.Wire;
+  t := 90;
+  Span.end_span ~corr:2 Trace.Wire;
+  Trace.stop r;
+  let evs = Trace.events r in
+  (match Span.intervals evs with
+   | [ a; b ] ->
+     Alcotest.(check int) "t0 = ts + off" 15 a.Span.t0;
+     Alcotest.(check int) "t1 = ts + off" 35 a.Span.t1;
+     Alcotest.(check int) "cycles carried" 7 a.Span.cycles;
+     Alcotest.(check int) "duration" 20 (Span.duration a);
+     Alcotest.(check int) "wire t0" 40 b.Span.t0;
+     Alcotest.(check int) "wire t1" 90 b.Span.t1;
+     Alcotest.(check bool) "corrs kept" true
+       (a.Span.corr = 1 && b.Span.corr = 2)
+   | l -> Alcotest.failf "expected 2 intervals, got %d" (List.length l));
+  Alcotest.(check int) "nothing unclosed" 0
+    (List.length (Span.unclosed evs))
+
+let test_unclosed_span_detection () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  let r = Trace.record () in
+  t := 100;
+  Span.begin_span ~corr:3 Trace.Deliver;
+  Span.begin_span ~corr:3 Trace.Pipe;
+  t := 150;
+  Span.end_span ~corr:3 Trace.Pipe;
+  (* An end with no begin must not fabricate an interval. *)
+  Span.end_span ~corr:9 Trace.Proto;
+  Trace.stop r;
+  let evs = Trace.events r in
+  Alcotest.(check int) "one matched pair" 1
+    (List.length (Span.intervals evs));
+  (match Span.unclosed evs with
+   | [ (corr, stage, t0) ] ->
+     Alcotest.(check int) "corr" 3 corr;
+     Alcotest.(check string) "stage" "deliver" (Trace.stage_label stage);
+     Alcotest.(check int) "open time" 100 t0
+   | l -> Alcotest.failf "expected 1 unclosed, got %d" (List.length l))
+
+let test_span_sampling () =
+  let r = Trace.record () in
+  Trace.set_span_sample 2;
+  (* Messages 1, 3, 5... are sampled; 2, 4 are not. *)
+  List.iter
+    (fun corr ->
+      Span.begin_span ~corr Trace.Wire;
+      Span.end_span ~corr Trace.Wire)
+    [ 1; 2; 3; 4; 5 ];
+  Trace.stop r;
+  let intervals = Span.intervals (Trace.events r) in
+  Alcotest.(check (list int)) "every 2nd message sampled" [ 1; 3; 5 ]
+    (List.map (fun i -> i.Span.corr) intervals);
+  Alcotest.(check bool) "span_on is exact" true
+    (Trace.span_on 3 = false (* sink uninstalled: always off *));
+  Alcotest.(check bool) "corr 0 never sampled" false
+    (let r2 = Trace.record () in
+     let on = Trace.span_on 0 in
+     Trace.stop r2;
+     on)
+
+(* -- satellite: the numeric test in the JSON dump -------------------- *)
+
+let test_json_field_value_numeric_only () =
+  let r = Trace.record () in
+  Trace.emit (Trace.Mark "-");
+  Trace.emit (Trace.Mark "1-2");
+  Trace.emit (Trace.Mark "123");
+  Trace.emit (Trace.Mark "-5");
+  Trace.stop r;
+  let s = Dump.to_json r in
+  (* Digit-and-dash strings that aren't numbers must be quoted. *)
+  Alcotest.(check bool) "bare dash quoted" true (contains s "\"label\":\"-\"");
+  Alcotest.(check bool) "interior dash quoted" true
+    (contains s "\"label\":\"1-2\"");
+  (* Real integers still pass through bare. *)
+  Alcotest.(check bool) "integer bare" true (contains s "\"label\":123");
+  Alcotest.(check bool) "negative integer bare" true
+    (contains s "\"label\":-5")
+
+(* -- chrome trace export --------------------------------------------- *)
+
+let count_occurrences hay needle =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* Every "ts":<n> in emission order; the export promises them
+   non-decreasing. *)
+let ts_values s =
+  let out = ref [] in
+  let key = "\"ts\":" in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i + String.length key <= n do
+    if String.sub s !i (String.length key) = key then begin
+      let j = ref (!i + String.length key) in
+      let buf = Buffer.create 8 in
+      while
+        !j < n
+        && (match s.[!j] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+      do
+        Buffer.add_char buf s.[!j];
+        incr j
+      done;
+      out := float_of_string (Buffer.contents buf) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let check_chrome_invariants s =
+  Alcotest.(check int) "balanced B/E pairs"
+    (count_occurrences s "\"ph\":\"B\"")
+    (count_occurrences s "\"ph\":\"E\"");
+  let bal c o =
+    String.fold_left
+      (fun n ch -> if ch = o then n + 1 else if ch = c then n - 1 else n)
+      0 s
+  in
+  Alcotest.(check int) "braces" 0 (bal '}' '{');
+  Alcotest.(check int) "brackets" 0 (bal ']' '[');
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ts non-decreasing" true (non_decreasing (ts_values s))
+
+let test_chrome_export_manual () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  let r = Trace.record () in
+  Trace.with_corr 1 (fun () ->
+      Span.begin_span ~corr:1 Trace.Reply;
+      Trace.emit (Trace.Pkt_tx { nic = "an2"; bytes = 64 });
+      t := 100;
+      Span.end_span ~corr:1 Trace.Reply;
+      Span.begin_span ~corr:1 Trace.Wire;
+      t := 300;
+      Span.end_span ~corr:1 Trace.Wire);
+  Trace.stop r;
+  let s = Dump.to_chrome_json r in
+  Alcotest.(check int) "two spans" 2 (count_occurrences s "\"ph\":\"B\"");
+  Alcotest.(check bool) "instant present" true (contains s "\"ph\":\"i\"");
+  Alcotest.(check bool) "process metadata" true (contains s "message 1");
+  check_chrome_invariants s
+
+(* -- acceptance property: stage spans cover the round trip ----------- *)
+
+let test_round_trip_attribution () =
+  let r = Trace.record () in
+  let (_ : Ash_util.Stats.summary) =
+    Ash_core.Lab.raw_pingpong ~iters:4 (Ash_core.Lab.Srv_ash { sandbox = true })
+  in
+  Trace.stop r;
+  let p = Profile.of_recorder r in
+  Alcotest.(check int) "one correlation id per ping" 4
+    (List.length p.Profile.messages);
+  Alcotest.(check int) "no unclosed spans" 0 (List.length p.Profile.unclosed);
+  (* The paper's accounting property: the union of stage spans explains
+     the end-to-end latency (small slack for event-boundary rounding). *)
+  List.iter
+    (fun m ->
+      let slack = max (m.Profile.e2e_ns / 10) 2_000 in
+      if abs (m.Profile.e2e_ns - m.Profile.covered_ns) > slack then
+        Alcotest.failf
+          "message %d: e2e %dns vs covered %dns exceeds slack %dns"
+          m.Profile.corr m.Profile.e2e_ns m.Profile.covered_ns slack;
+      Alcotest.(check bool)
+        (Printf.sprintf "message %d has a dominant stage" m.Profile.corr)
+        true
+        (m.Profile.dominant <> None))
+    p.Profile.messages;
+  (* Per-ASH attribution: the echo handler ran once per ping. *)
+  (match p.Profile.ashes with
+   | [ a ] ->
+     Alcotest.(check int) "downloads" 1 a.Profile.downloads;
+     Alcotest.(check int) "dispatches" 4 a.Profile.dispatches;
+     Alcotest.(check int) "commits" 4 a.Profile.commits;
+     Alcotest.(check bool) "handler cycles attributed" true
+       (a.Profile.vm_cycles > 0);
+     Alcotest.(check bool) "sandbox split sums" true
+       (a.Profile.sandbox_cycles_est + a.Profile.payload_cycles_est
+        = a.Profile.vm_cycles)
+   | l -> Alcotest.failf "expected 1 ash row, got %d" (List.length l));
+  (* The same stream exports as a loadable chrome trace. *)
+  check_chrome_invariants (Dump.to_chrome_json r);
+  (* And the profile renders without raising. *)
+  let rendered = Format.asprintf "%a" Profile.pp p in
+  Alcotest.(check bool) "profile mentions a stage" true
+    (contains rendered "ash-run")
+
+let test_round_trip_sampling_halves_spans () =
+  let full = Trace.record () in
+  let (_ : Ash_util.Stats.summary) =
+    Ash_core.Lab.raw_pingpong ~iters:4 (Ash_core.Lab.Srv_ash { sandbox = true })
+  in
+  Trace.stop full;
+  Trace.set_span_sample 2;
+  let sampled = Trace.record () in
+  let (_ : Ash_util.Stats.summary) =
+    Ash_core.Lab.raw_pingpong ~iters:4 (Ash_core.Lab.Srv_ash { sandbox = true })
+  in
+  Trace.stop sampled;
+  Trace.set_span_sample 1;
+  let spans r = List.length (Span.intervals (Trace.events r)) in
+  let msgs r = List.length (Profile.of_recorder r).Profile.messages in
+  Alcotest.(check int) "sampling halves traced messages" 2 (msgs sampled);
+  Alcotest.(check int) "full tracing sees all messages" 4 (msgs full);
+  Alcotest.(check bool) "fewer spans under sampling" true
+    (spans sampled < spans full);
+  (* Exact counters are not sampled. *)
+  Alcotest.(check int) "counters stay exact"
+    (Metrics.counter (Trace.metrics full) "ash.dispatch")
+    (Metrics.counter (Trace.metrics sampled) "ash.dispatch")
+
 let () =
   Alcotest.run "ash_obs"
     [
@@ -255,5 +508,25 @@ let () =
           Alcotest.test_case "text" `Quick (isolated test_text_dump);
           Alcotest.test_case "json" `Quick (isolated test_json_dump);
           Alcotest.test_case "labels" `Quick (isolated test_labels_stable);
+          Alcotest.test_case "numeric fields" `Quick
+            (isolated test_json_field_value_numeric_only);
+          Alcotest.test_case "chrome export" `Quick
+            (isolated test_chrome_export_manual);
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "wraparound counters" `Quick
+            (isolated test_wraparound_counters_exact);
+          Alcotest.test_case "pairing" `Quick (isolated test_span_pairing);
+          Alcotest.test_case "unclosed" `Quick
+            (isolated test_unclosed_span_detection);
+          Alcotest.test_case "sampling" `Quick (isolated test_span_sampling);
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "round-trip attribution" `Quick
+            (isolated test_round_trip_attribution);
+          Alcotest.test_case "sampling halves spans" `Quick
+            (isolated test_round_trip_sampling_halves_spans);
         ] );
     ]
