@@ -34,6 +34,7 @@ let experiments : (string * (unit -> Report.table)) list =
     ("demux", Core.Exp_ablate.demux_scaling);
     ("dilp-scaling", Core.Exp_ilp.dilp_scaling);
     ("striped", Core.Exp_ablate.striped);
+    ("absint", Core.Exp_ablate.absint);
   ]
 
 (* -- Bechamel: host-side cost of each experiment's simulation kernel -- *)
@@ -70,7 +71,7 @@ let staged_kernels : (string * (unit -> unit)) list =
       fun () ->
         ignore
           (Core.Exp_sandbox.run_once ~variant:Core.Exp_sandbox.Specific
-             ~sandboxed:true ~payload_len:40) );
+             ~sandboxed:true ~payload_len:40 ()) );
     ( "dpf.demux16",
       fun () ->
         ignore (Core.Exp_ablate.demux_cycles ~compiled:true ~nfilters:16) );

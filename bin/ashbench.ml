@@ -27,6 +27,8 @@ let experiments : (string * string * (unit -> Report.table)) list =
     ("dpf", "compiled vs interpreted packet filters", Core.Exp_ablate.dpf);
     ("dilp-scaling", "DILP fusion vs separate passes", Core.Exp_ilp.dilp_scaling);
     ("striped", "striped vs contiguous DILP back ends", Core.Exp_ablate.striped);
+    ("absint", "download-time static analysis vs full checking",
+     Core.Exp_ablate.absint);
   ]
 
 let handlers : (string * (unit -> Program.t)) list =
@@ -36,6 +38,7 @@ let handlers : (string * (unit -> Program.t)) list =
     ("remote-write-generic",
      fun () -> Core.Handlers.remote_write_generic ~table_addr:0x3000 ~entries:4);
     ("remote-write-specific", Core.Handlers.remote_write_specific);
+    ("remote-write-guarded", Core.Handlers.remote_write_guarded);
     ("tcp-fastpath",
      fun () ->
        Ash_proto.Tcp_fastpath.program
@@ -92,7 +95,16 @@ let run_cmd =
                  $(docv), loadable in Perfetto / chrome://tracing \
                  (one process per message, one track per stage).")
   in
-  let run markdown trace trace_json profile trace_sample trace_chrome ids =
+  let no_absint =
+    Arg.(value & flag
+         & info [ "no-absint" ]
+           ~doc:"Disable download-time static analysis: every kernel \
+                 handler download emits the full naive check set \
+                 (measures what the abstract interpreter saves).")
+  in
+  let run markdown trace trace_json profile trace_sample trace_chrome
+      no_absint ids =
+    if no_absint then Ash_kern.Kernel.set_absint_default false;
     let selected =
       if ids = [] then experiments
       else
@@ -144,11 +156,31 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run $ markdown $ trace $ trace_json $ profile $ trace_sample
-          $ trace_chrome $ ids)
+          $ trace_chrome $ no_absint $ ids)
+
+(* Shared by inspect/assemble: source, download-time fact table, then
+   the sandboxed code with the elision summary. *)
+let show_analysis p =
+  Format.printf "%a@." Program.pp p;
+  let facts = Ash_vm.Absint.analyze p in
+  Format.printf "@.; download-time facts:@.%a" Ash_vm.Absint.pp_facts facts;
+  let sp, stats = Sandbox.apply ~absint:true p in
+  let bound =
+    match stats.Sandbox.static_bound with
+    | Some b -> Printf.sprintf "; static bound %d cycles" b
+    | None -> ""
+  in
+  Format.printf
+    "@.; after sandboxing (%d original + %d added; %d of %d checks \
+     elided%s):@.%a@."
+    stats.Sandbox.original stats.Sandbox.added
+    (Sandbox.checks_elided stats) (Sandbox.risky_checks p) bound Program.pp
+    sp
 
 let inspect_cmd =
   let doc =
-    "Disassemble a canonical handler, before and after sandboxing."
+    "Disassemble a canonical handler: source, download-time facts, and \
+     the sandboxed code."
   in
   let handler_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"HANDLER")
@@ -159,12 +191,7 @@ let inspect_cmd =
       Printf.eprintf "unknown handler %S (have: %s)\n" name
         (String.concat ", " (List.map fst handlers));
       exit 2
-    | Some mk ->
-      let p = mk () in
-      Format.printf "%a@." Program.pp p;
-      let sp, stats = Sandbox.apply p in
-      Format.printf "@.; after sandboxing (%d original + %d added):@.%a@."
-        stats.Sandbox.original stats.Sandbox.added Program.pp sp
+    | Some mk -> show_analysis (mk ())
   in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ handler_arg)
 
@@ -191,15 +218,85 @@ let assemble_cmd =
           Format.eprintf "%s: verifier rejected: %a@." path
             Ash_vm.Verify.pp_error e;
           exit 1
-        | Ok p ->
-          Format.printf "%a@." Program.pp p;
-          let sp, stats = Sandbox.apply p in
-          Format.printf "@.; after sandboxing (%d original + %d added):@.%a@."
-            stats.Sandbox.original stats.Sandbox.added Program.pp sp)
+        | Ok p -> show_analysis p)
   in
   Cmd.v (Cmd.info "assemble" ~doc) Term.(const run $ path_arg)
+
+let lint_cmd =
+  let doc =
+    "Batch-check handler source files: assemble, verify, and run the \
+     download-time analyzer over each. Exits nonzero when any file is \
+     rejected, or when a file's residual (un-elided) sandbox checks \
+     exceed $(b,--max-residual). CI runs this over examples/handlers."
+  in
+  let paths_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+  in
+  let max_residual =
+    Arg.(value & opt (some int) None
+         & info [ "max-residual" ] ~docv:"N"
+           ~doc:"Fail any file with more than $(docv) sandbox checks \
+                 left after analysis.")
+  in
+  let require_bound =
+    Arg.(value & flag
+         & info [ "require-bound" ]
+           ~doc:"Fail any file without a provable static worst-case \
+                 cycle bound.")
+  in
+  let run max_residual require_bound paths =
+    let failures = ref 0 in
+    let fail path fmt =
+      incr failures;
+      Format.kasprintf (fun s -> Format.eprintf "%s: %s@." path s) fmt
+    in
+    List.iter
+      (fun path ->
+         let ic = open_in path in
+         let n = in_channel_length ic in
+         let src = really_input_string ic n in
+         close_in ic;
+         match Ash_vm.Asm.parse ~name:(Filename.basename path) src with
+         | Error e -> fail path "%a" Ash_vm.Asm.pp_error e
+         | Ok p -> (
+             match Ash_vm.Verify.check p with
+             | Error e ->
+               fail path "verifier rejected: %a" Ash_vm.Verify.pp_error e
+             | Ok p ->
+               let _, stats = Sandbox.apply ~absint:true p in
+               let residual =
+                 Sandbox.risky_checks p - Sandbox.checks_elided stats
+               in
+               let bound = stats.Sandbox.static_bound in
+               (match max_residual with
+                | Some m when residual > m ->
+                  fail path
+                    "%d residual sandbox checks (limit %d) — the \
+                     analyzer could not prove them redundant"
+                    residual m
+                | _ -> ());
+               if require_bound && bound = None then
+                 fail path "no provable static worst-case cycle bound";
+               Format.printf "%-40s ok: %d/%d checks elided%s@." path
+                 (Sandbox.checks_elided stats)
+                 (Sandbox.risky_checks p)
+                 (match bound with
+                  | Some b -> Printf.sprintf ", static bound %d cycles" b
+                  | None -> ", no static bound")))
+      paths;
+    if !failures > 0 then begin
+      Format.eprintf "%d file(s) failed lint@." !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const run $ max_residual $ require_bound $ paths_arg)
 
 let () =
   let doc = "ASHs reproduction experiment driver" in
   let info = Cmd.info "ashbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; inspect_cmd; assemble_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; inspect_cmd; assemble_cmd; lint_cmd ]))

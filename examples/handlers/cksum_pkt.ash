@@ -1,0 +1,29 @@
+; Sum the first 64 bytes of the message as sixteen 32-bit words and
+; reply with the 4-byte result — a counted loop the download-time
+; analyzer can fully discharge:
+;   - the runt guard proves len >= 64, so every ld32 through
+;     r9 = r28 + [0..60] is in bounds and its check is elided;
+;   - the loop has a provable trip count (r7 steps by 4 toward 61),
+;     so the whole run gets a static worst-case cycle bound and needs
+;     no gas probes.
+; Assemble with:  dune exec bin/ashbench.exe -- assemble examples/handlers/cksum_pkt.ash
+    li    r6, 64
+    bltu  r29, r6, @short   ; runt: need one full 64-byte block
+    li    r7, 0             ; byte offset
+    li    r16, 0            ; accumulator
+loop:
+    li    r6, 61
+    bgeu  r7, r6, @done     ; offsets 0,4,...,60
+    add   r9, r28, r7
+    ld32  r5, 0(r9)
+    add   r16, r16, r5
+    addi  r7, r7, 4
+    jmp   @loop
+done:
+    st32  r16, 0(r28)
+    mov   r1, r28
+    li    r2, 4
+    call  send
+    commit
+short:
+    abort

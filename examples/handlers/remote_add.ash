@@ -1,6 +1,10 @@
 ; A hand-written active-message handler: [magic(4) | a(4) | b(4)]
 ; computes a+b into the message buffer and replies with 4 bytes.
+; The runt guard up front makes every load/store provably in-bounds,
+; so download-time analysis elides all four sandbox checks.
 ; Assemble with:  dune exec bin/ashbench.exe -- assemble examples/handlers/remote_add.ash
+    li    r6, 12
+    bltu  r29, r6, @bad     ; runt: header not resident
     ld32  r5, 0(r28)        ; magic word
     li    r6, 0x41444421    ; "ADD!"
     bne   r5, r6, @bad

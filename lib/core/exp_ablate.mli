@@ -21,3 +21,8 @@ val striped_one_pass : len:int -> unit -> float
 val destripe_then_dilp : len:int -> unit -> float
 
 val striped : unit -> Report.table
+
+val absint : unit -> Report.table
+(** Ablation A5: sandbox cost with download-time abstract
+    interpretation off vs on (and with the §V-D exit code
+    specialized away). *)

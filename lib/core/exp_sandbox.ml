@@ -11,12 +11,13 @@ module Verify = Ash_vm.Verify
 module Sandbox = Ash_vm.Sandbox
 module Bytesx = Ash_util.Bytesx
 
-type variant = Generic | Specific
+type variant = Generic | Specific | Guarded
 
 (* Run one remote-write handler in isolation ("we take this measurement
    in isolation, without the cost of communication, but with both ASHs
    running in the kernel"). Returns (cycles, interp result). *)
-let run_once ~variant ~sandboxed ~payload_len =
+let run_once ?(absint = false) ?(specialize_exit = false) ~variant ~sandboxed
+    ~payload_len () =
   let m = Machine.create Costs.decstation in
   let mem = Machine.mem m in
   let seg = Memory.alloc mem ~name:"dsm-segment" 8192 in
@@ -24,7 +25,7 @@ let run_once ~variant ~sandboxed ~payload_len =
   (* One translation-table entry: segment 0 -> (base, limit). *)
   Memory.store32 mem table.Memory.base seg.Memory.base;
   Memory.store32 mem (table.Memory.base + 4) seg.Memory.len;
-  let hdr_len = match variant with Generic -> 12 | Specific -> 8 in
+  let hdr_len = match variant with Generic -> 12 | Specific | Guarded -> 8 in
   let msg = Memory.alloc mem ~name:"msg" (hdr_len + payload_len) in
   let header = Bytes.create hdr_len in
   (match variant with
@@ -32,7 +33,7 @@ let run_once ~variant ~sandboxed ~payload_len =
      Bytesx.set_u32 header 0 0; (* segment number *)
      Bytesx.set_u32 header 4 64; (* offset *)
      Bytesx.set_u32 header 8 payload_len
-   | Specific ->
+   | Specific | Guarded ->
      Bytesx.set_u32 header 0 (seg.Memory.base + 64);
      Bytesx.set_u32 header 4 payload_len);
   Memory.blit_from_bytes mem ~src:header ~src_off:0 ~dst:msg.Memory.base
@@ -42,10 +43,13 @@ let run_once ~variant ~sandboxed ~payload_len =
     | Generic ->
       Handlers.remote_write_generic ~table_addr:table.Memory.base ~entries:1
     | Specific -> Handlers.remote_write_specific ()
+    | Guarded -> Handlers.remote_write_guarded ()
   in
   let program =
     match Verify.check program with
-    | Ok p -> if sandboxed then fst (Sandbox.apply p) else p
+    | Ok p ->
+      if sandboxed then fst (Sandbox.apply ~absint ~specialize_exit p)
+      else p
     | Error e ->
       failwith (Format.asprintf "rejected: %a" Verify.pp_error e)
   in
@@ -74,17 +78,32 @@ let run_once ~variant ~sandboxed ~payload_len =
   r
 
 let overhead_ratio ~variant ~payload_len =
-  let sand = (run_once ~variant ~sandboxed:true ~payload_len).Interp.cycles in
+  let sand =
+    (run_once ~variant ~sandboxed:true ~payload_len ()).Interp.cycles
+  in
   let plain =
-    (run_once ~variant ~sandboxed:false ~payload_len).Interp.cycles
+    (run_once ~variant ~sandboxed:false ~payload_len ()).Interp.cycles
   in
   float_of_int sand /. float_of_int plain
+
+(* Static sandboxing cost of the remote-write handlers under a given
+   analysis configuration, for the absint ablation. *)
+let sandbox_stats ?(absint = false) ?(specialize_exit = false) ~variant () =
+  let program =
+    match variant with
+    | Generic -> Handlers.remote_write_generic ~table_addr:0x3000 ~entries:1
+    | Specific -> Handlers.remote_write_specific ()
+    | Guarded -> Handlers.remote_write_guarded ()
+  in
+  match Verify.check program with
+  | Ok p -> snd (Sandbox.apply ~absint ~specialize_exit p)
+  | Error e -> failwith (Format.asprintf "rejected: %a" Verify.pp_error e)
 
 (* Dynamic instruction count excluding the data copy, as the paper
    counts them ("the dynamic instruction count (excluding data copying)
    ... uses 38 instructions, 28 of which are added by the sandboxer"). *)
 let insn_count ~variant ~sandboxed =
-  let r = run_once ~variant ~sandboxed ~payload_len:40 in
+  let r = run_once ~variant ~sandboxed ~payload_len:40 () in
   r.Interp.insns
 
 let section_vd () =

@@ -1,10 +1,27 @@
 (** §V-D: sandboxing overhead on the DSM remote write. *)
 
-type variant = Generic | Specific
+type variant = Generic | Specific | Guarded
 
 val run_once :
-  variant:variant -> sandboxed:bool -> payload_len:int -> Ash_vm.Interp.result
-(** Execute one remote write in isolation (no communication costs). *)
+  ?absint:bool ->
+  ?specialize_exit:bool ->
+  variant:variant ->
+  sandboxed:bool ->
+  payload_len:int ->
+  unit ->
+  Ash_vm.Interp.result
+(** Execute one remote write in isolation (no communication costs).
+    [absint] (default false) lets the sandboxer elide statically proven
+    checks; [specialize_exit] drops the general exit code. *)
+
+val sandbox_stats :
+  ?absint:bool ->
+  ?specialize_exit:bool ->
+  variant:variant ->
+  unit ->
+  Ash_vm.Sandbox.stats
+(** Static sandboxing cost of the remote-write handler under the given
+    analysis configuration. *)
 
 val overhead_ratio : variant:variant -> payload_len:int -> float
 (** Sandboxed/unsafe cycle ratio. *)

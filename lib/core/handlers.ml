@@ -76,7 +76,12 @@ let remote_write_generic ~table_addr ~entries =
   and stop = Builder.temp b in
   (* Parse and validate the request header, as the generic protocol
      must: the message has to hold the header plus the payload, the size
-     has to be word-aligned and within the transfer limit. *)
+     has to be word-aligned and within the transfer limit. The header
+     itself cannot be parsed before it is known to be present, so runts
+     are rejected first — which is also the fact the download-time
+     analyzer consumes to discharge the three header-load checks. *)
+  Builder.li b bound 12;
+  Builder.bltu b Isa.reg_msg_len bound bad;
   Builder.emit b (Isa.Ld32 (seg, Isa.reg_msg_addr, 0));
   Builder.emit b (Isa.Ld32 (off, Isa.reg_msg_addr, 4));
   Builder.emit b (Isa.Ld32 (size, Isa.reg_msg_addr, 8));
@@ -115,6 +120,30 @@ let remote_write_specific () =
   Builder.emit b (Isa.Mov (Isa.reg_arg2, size));
   Builder.call b Isa.K_copy;
   Builder.commit b;
+  Builder.assemble b
+
+(* The specific remote write as a careful author would ship it: a
+   two-instruction runt guard in front of the header loads. The guard
+   costs two cycles but makes both header accesses provably in-bounds,
+   so the download-time analyzer elides their checks — the §V-D
+   "smarter sandboxer" row. *)
+let remote_write_guarded () =
+  let b = Builder.create ~name:"remote-write-guarded" () in
+  let bad = Builder.fresh_label b in
+  let ptr = Builder.temp b
+  and size = Builder.temp b
+  and need = Builder.temp b in
+  Builder.li b need 8;
+  Builder.bltu b Isa.reg_msg_len need bad;
+  Builder.emit b (Isa.Ld32 (ptr, Isa.reg_msg_addr, 0));
+  Builder.emit b (Isa.Ld32 (size, Isa.reg_msg_addr, 4));
+  Builder.li b Isa.reg_arg0 8;
+  Builder.emit b (Isa.Mov (Isa.reg_arg1, ptr));
+  Builder.emit b (Isa.Mov (Isa.reg_arg2, size));
+  Builder.call b Isa.K_copy;
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
   Builder.assemble b
 
 let dilp_deposit ~dilp_id ~dst_addr =

@@ -40,6 +40,12 @@ val remote_write_specific : unit -> Ash_vm.Program.t
     segment descriptor and offset". Fewer instructions than the generic
     version even after sandboxing, the paper's headline §V-D claim. *)
 
+val remote_write_guarded : unit -> Ash_vm.Program.t
+(** {!remote_write_specific} plus a two-instruction runt guard before
+    the header loads. The guard makes both loads provably in-bounds, so
+    download-time analysis ({!Ash_vm.Absint}) elides their sandbox
+    checks — the "smarter sandboxer" §V-D speculates about. *)
+
 val dilp_deposit : dilp_id:int -> dst_addr:int -> Ash_vm.Program.t
 (** Message vectoring with integrated processing: run the registered
     DILP transfer [dilp_id] over the whole message, depositing it at

@@ -53,9 +53,15 @@ type cached_handler = {
   c_exec : Exec.prepared;
 }
 
-type cache_key = string * bool * Isa.kcall list
+type cache_key = string * bool * bool * bool * Isa.kcall list
 
-type cache_stats = { hits : int; misses : int; entries : int }
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  checks_elided : int;
+  static_bounded : int;
+}
 
 type binding = {
   bvc : int;
@@ -248,8 +254,16 @@ let default_allowed =
   Isa.[ K_msg_read8; K_msg_read16; K_msg_read32; K_msg_write32; K_copy;
         K_dilp; K_send; K_msg_len ]
 
-let cache_key ~sandbox ~allowed_calls program =
-  (Program.digest program, sandbox, List.sort compare allowed_calls)
+(* Download-time static analysis is on unless an experiment (ashbench
+   --no-absint, the exp_ablate off-row) turns it off to measure the
+   fully checked sandbox. *)
+let absint_default = ref true
+
+let set_absint_default b = absint_default := b
+
+let cache_key ~sandbox ~absint ~specialize_exit ~allowed_calls program =
+  ( Program.digest program, sandbox, absint, specialize_exit,
+    List.sort compare allowed_calls )
 
 let install_ash t ~sandbox ~hardwired ~allowed_calls ch =
   let id = t.next_ash in
@@ -259,9 +273,22 @@ let install_ash t ~sandbox ~hardwired ~allowed_calls ch =
       allowed = allowed_calls; sb_stats = ch.c_sb_stats; last = None };
   id
 
-let download_ash t ?(sandbox = true) ?(hardwired = false)
-    ?(allowed_calls = default_allowed) program =
-  let key = cache_key ~sandbox ~allowed_calls program in
+let emit_download ~id ~cache_hit ch =
+  if Trace.enabled () then begin
+    let checks_elided, static_bound =
+      match ch.c_sb_stats with
+      | None -> (0, None)
+      | Some st -> (Sandbox.checks_elided st, st.Sandbox.static_bound)
+    in
+    Trace.emit
+      (Trace.Ash_download { id; cache_hit; checks_elided; static_bound })
+  end
+
+let download_ash t ?(sandbox = true) ?absint ?(specialize_exit = false)
+    ?(hardwired = false) ?(allowed_calls = default_allowed) program =
+  let absint = match absint with Some b -> b | None -> !absint_default in
+  let key = cache_key ~sandbox ~absint ~specialize_exit ~allowed_calls
+      program in
   match Hashtbl.find_opt t.handler_cache key with
   | Some ch ->
     (* Same program, same sandbox/policy: reuse the compiled artifact.
@@ -269,8 +296,7 @@ let download_ash t ?(sandbox = true) ?(hardwired = false)
        already passed under the same allowed-calls policy. *)
     t.cache_hits <- t.cache_hits + 1;
     let id = install_ash t ~sandbox ~hardwired ~allowed_calls ch in
-    if Trace.enabled () then
-      Trace.emit (Trace.Ash_download { id; cache_hit = true });
+    emit_download ~id ~cache_hit:true ch;
     Ok id
   | None ->
     match Verify.check ~allowed_calls program with
@@ -278,7 +304,7 @@ let download_ash t ?(sandbox = true) ?(hardwired = false)
     | Ok p ->
       let p, sb_stats =
         if sandbox then
-          let sp, st = Sandbox.apply p in
+          let sp, st = Sandbox.apply ~absint ~specialize_exit p in
           (sp, Some st)
         else (p, None)
       in
@@ -289,13 +315,23 @@ let download_ash t ?(sandbox = true) ?(hardwired = false)
       Hashtbl.add t.handler_cache key ch;
       t.cache_misses <- t.cache_misses + 1;
       let id = install_ash t ~sandbox ~hardwired ~allowed_calls ch in
-      if Trace.enabled () then
-        Trace.emit (Trace.Ash_download { id; cache_hit = false });
+      emit_download ~id ~cache_hit:false ch;
       Ok id
 
 let handler_cache_stats t =
+  let checks_elided, static_bounded =
+    Hashtbl.fold
+      (fun _ ch (el, sb) ->
+         match ch.c_sb_stats with
+         | None -> (el, sb)
+         | Some st ->
+           ( el + Sandbox.checks_elided st,
+             sb + if st.Sandbox.static_bound <> None then 1 else 0 ))
+      t.handler_cache (0, 0)
+  in
   { hits = t.cache_hits; misses = t.cache_misses;
-    entries = Hashtbl.length t.handler_cache }
+    entries = Hashtbl.length t.handler_cache;
+    checks_elided; static_bounded }
 
 (* End-of-life: drop every downloaded artifact. The kernel must not be
    asked to deliver messages afterwards; bindings that still reference

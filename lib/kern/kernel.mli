@@ -102,28 +102,50 @@ val attach_ethernet : t -> Ash_nic.Ethernet.t -> unit
 
 (* -- ASHs --------------------------------------------------------------- *)
 
+val set_absint_default : bool -> unit
+(** Default for [download_ash]'s [?absint] (initially [true]).
+    [ashbench --no-absint] clears it to measure the fully checked
+    sandbox. *)
+
 val download_ash :
   t ->
   ?sandbox:bool ->
+  ?absint:bool ->
+  ?specialize_exit:bool ->
   ?hardwired:bool ->
   ?allowed_calls:Ash_vm.Isa.kcall list ->
   Ash_vm.Program.t ->
   (ash_id, Ash_vm.Verify.error) result
 (** Verify and (by default) sandbox a handler, install it, and hand back
     an identifier — the download step of §II. [sandbox:false] installs
-    the unsafe variant measured in Tables V/VI. [hardwired:true] marks
-    hand-written in-kernel code (Table I's "in-kernel" row): it skips
-    the per-invocation ASH dispatch and timer costs.
+    the unsafe variant measured in Tables V/VI. [absint] (default
+    {!set_absint_default}, initially on) runs the download-time abstract
+    interpreter so the sandboxer can elide statically proven checks and
+    replace gas probes with a static worst-case bound (§III-B);
+    [specialize_exit:true] additionally drops the overly general exit
+    code (§V-D). [hardwired:true] marks hand-written in-kernel code
+    (Table I's "in-kernel" row): it skips the per-invocation ASH
+    dispatch and timer costs.
 
     Downloads are cached: re-submitting a program with an equal
-    {!Ash_vm.Program.digest} under the same [sandbox] flag and
-    allowed-calls policy skips verification and sandboxing and shares
-    the already-compiled execution artifact ([hardwired] only affects
-    per-invocation dispatch cost, so it is not part of the key). Under
-    the compiled backend the closure artifact is generated here, at
-    download time. *)
+    {!Ash_vm.Program.digest} under the same [sandbox]/[absint]/
+    [specialize_exit] flags and allowed-calls policy skips verification
+    and sandboxing and shares the already-compiled execution artifact
+    ([hardwired] only affects per-invocation dispatch cost, so it is
+    not part of the key). Under the compiled backend the closure
+    artifact is generated here, at download time. *)
 
-type cache_stats = { hits : int; misses : int; entries : int }
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  checks_elided : int;
+      (** Sandbox checks elided by download-time analysis, summed over
+          cached artifacts. *)
+  static_bounded : int;
+      (** Cached artifacts whose worst-case cycles were statically
+          bounded (gas probes elided). *)
+}
 
 val handler_cache_stats : t -> cache_stats
 

@@ -246,7 +246,7 @@ let ash_rows evs =
   List.iter
     (fun e ->
       match e.kind with
-      | Ash_download { id; cache_hit } ->
+      | Ash_download { id; cache_hit; _ } ->
         let a = acc id in
         a.a_downloads <- a.a_downloads + 1;
         if cache_hit then a.a_cache_hits <- a.a_cache_hits + 1

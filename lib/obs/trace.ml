@@ -72,7 +72,12 @@ type kind =
   | Dilp_run of { name : string; len : int }
   | Tcp_fast_hit
   | Tcp_fast_miss
-  | Ash_download of { id : int; cache_hit : bool }
+  | Ash_download of {
+      id : int;
+      cache_hit : bool;
+      checks_elided : int;
+      static_bound : int option;
+    }
   | Span_begin of { corr : int; stage : stage; off : int }
   | Span_end of { corr : int; stage : stage; off : int; cycles : int }
   | Mark of string
@@ -223,8 +228,11 @@ let fields = function
   | Dilp_run { name; len } ->
     [ ("name", name); ("len", string_of_int len) ]
   | Tcp_fast_hit | Tcp_fast_miss -> []
-  | Ash_download { id; cache_hit } ->
-    [ ("id", string_of_int id); ("cache_hit", string_of_bool cache_hit) ]
+  | Ash_download { id; cache_hit; checks_elided; static_bound } ->
+    [ ("id", string_of_int id); ("cache_hit", string_of_bool cache_hit);
+      ("checks_elided", string_of_int checks_elided);
+      ("static_bound",
+       match static_bound with None -> "none" | Some b -> string_of_int b) ]
   | Span_begin { corr; stage; off } ->
     [ ("corr", string_of_int corr); ("stage", stage_label stage);
       ("off", string_of_int off) ]
@@ -304,6 +312,8 @@ let account m =
   let download = c "ash.download" in
   let cache_hit = c "ash.cache.hit" in
   let cache_miss = c "ash.cache.miss" in
+  let absint_elided = c "ash.absint.checks_elided" in
+  let absint_bounded = c "ash.absint.static_bounded" in
   let mark = c "mark" in
   let span_cell =
     let wire = c "span.wire" in
@@ -372,9 +382,11 @@ let account m =
       Metrics.observe_ref dilp_run_bytes (float_of_int len)
     | Tcp_fast_hit -> bump tcp_hit
     | Tcp_fast_miss -> bump tcp_miss
-    | Ash_download { cache_hit = hit; _ } ->
+    | Ash_download { cache_hit = hit; checks_elided; static_bound; _ } ->
       bump download;
-      bump (if hit then cache_hit else cache_miss)
+      bump (if hit then cache_hit else cache_miss);
+      absint_elided := !absint_elided + checks_elided;
+      if static_bound <> None then bump absint_bounded
     | Span_begin _ -> ()
     | Span_end { stage; _ } -> bump (span_cell stage)
     | Mark _ -> bump mark

@@ -78,8 +78,15 @@ type kind =
   | Dilp_run of { name : string; len : int }
   | Tcp_fast_hit  (** TCP fast-path handler committed *)
   | Tcp_fast_miss  (** segment fell back to the library path *)
-  | Ash_download of { id : int; cache_hit : bool }
-      (** handler installed, noting whether PR 2's cache supplied it *)
+  | Ash_download of {
+      id : int;
+      cache_hit : bool;
+      checks_elided : int;
+      static_bound : int option;
+    }
+      (** handler installed, noting whether PR 2's cache supplied it,
+          how many sandbox checks download-time absint elided, and the
+          static worst-case cycle bound when one was provable *)
   | Span_begin of { corr : int; stage : stage; off : int }
       (** stage span opened for message [corr]; the span clock is
           [event ts + off] (see {!Span}) *)

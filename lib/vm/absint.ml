@@ -1,0 +1,665 @@
+type base = Bnone | Bmsg_addr | Bmsg_len
+
+type aval = { base : base; lo : int; hi : int }
+
+type state = {
+  regs : aval array;
+  checked : (int * int) option array;
+  mutable len_min : int;
+}
+
+type t = {
+  cfg : Cfg.t;
+  pre : state option array;
+  elide : bool array;
+  reason : string array;
+}
+
+let u32max = 0xffff_ffff
+let mask32 v = v land u32max
+
+(* Offsets relative to msg_addr/msg_len are kept well inside the 32-bit
+   range so interval arithmetic cannot wrap; anything wilder degrades
+   to an unconstrained plain value. *)
+let off_cap = 0x4000_0000
+
+let top = { base = Bnone; lo = 0; hi = u32max }
+let const c = { base = Bnone; lo = c; hi = c }
+let is_const v = v.base = Bnone && v.lo = v.hi
+
+let plain lo hi =
+  if lo > hi then top
+  else { base = Bnone; lo = max 0 lo; hi = min u32max hi }
+
+(* A plain interval that must not wrap: out-of-range bounds mean the
+   masked 32-bit result may be anything. *)
+let plain_exact lo hi =
+  if lo < 0 || hi > u32max || lo > hi then top
+  else { base = Bnone; lo; hi }
+
+let based b lo hi =
+  if lo < -off_cap || hi > off_cap || lo > hi then top
+  else { base = b; lo; hi }
+
+let mk b lo hi = match b with Bnone -> plain_exact lo hi | _ -> based b lo hi
+
+let join_aval a b =
+  if a.base <> b.base then top
+  else
+    match a.base with
+    | Bnone -> plain (min a.lo b.lo) (max a.hi b.hi)
+    | bb -> based bb (min a.lo b.lo) (max a.hi b.hi)
+
+let widen_aval old v =
+  if old.base <> v.base then top
+  else
+    let lo =
+      if v.lo < old.lo then (match v.base with Bnone -> 0 | _ -> -off_cap)
+      else v.lo
+    and hi =
+      if v.hi > old.hi then (match v.base with Bnone -> u32max | _ -> off_cap)
+      else v.hi
+    in
+    mk v.base lo hi
+
+let join_window a b =
+  match (a, b) with
+  | Some (l1, h1), Some (l2, h2) ->
+    let l = max l1 l2 and h = min h1 h2 in
+    if l < h then Some (l, h) else None
+  | _ -> None
+
+let copy_state st =
+  { regs = Array.copy st.regs;
+    checked = Array.copy st.checked;
+    len_min = st.len_min }
+
+let join_state s1 s2 =
+  { regs = Array.init Isa.num_regs (fun r -> join_aval s1.regs.(r) s2.regs.(r));
+    checked =
+      Array.init Isa.num_regs (fun r ->
+          join_window s1.checked.(r) s2.checked.(r));
+    len_min = min s1.len_min s2.len_min }
+
+let widen_state old st =
+  { st with
+    regs =
+      Array.init Isa.num_regs (fun r -> widen_aval old.regs.(r) st.regs.(r)) }
+
+let equal_state s1 s2 =
+  s1.len_min = s2.len_min && s1.regs = s2.regs && s1.checked = s2.checked
+
+(* Entry state: the kernel dispatch contract and nothing else. Other
+   registers may be seeded by the caller ([regs_init]), so they start
+   unconstrained. *)
+let initial () =
+  let regs = Array.make Isa.num_regs top in
+  regs.(Isa.reg_zero) <- const 0;
+  regs.(Isa.reg_msg_addr) <- based Bmsg_addr 0 0;
+  regs.(Isa.reg_msg_len) <- based Bmsg_len 0 0;
+  { regs; checked = Array.make Isa.num_regs None; len_min = 0 }
+
+let get st r = if r = Isa.reg_zero then const 0 else st.regs.(r)
+
+let set st r v =
+  if r <> Isa.reg_zero then begin
+    st.regs.(r) <- v;
+    st.checked.(r) <- None
+  end
+
+(* [set], but the new value equals register [src]'s old value plus the
+   constant [delta]: the resident window moves with it. *)
+let set_shifted st r v ~src ~delta =
+  let w =
+    match st.checked.(src) with
+    | Some (l, h) when abs delta < off_cap -> Some (l - delta, h - delta)
+    | _ -> None
+  in
+  if r <> Isa.reg_zero then begin
+    st.regs.(r) <- v;
+    st.checked.(r) <- w
+  end
+
+(* Refinements narrow a register's value without changing it, so the
+   checked window survives. *)
+let refine_set st r v = if r <> Isa.reg_zero then st.regs.(r) <- v
+
+(* a < b on the actual (unsigned) values; refine both and learn about
+   msg_len. Returns false when the edge is infeasible. *)
+let refine_lt st ra rb =
+  let a = get st ra and b = get st rb in
+  let feasible = ref true in
+  if a.base = b.base then begin
+    let hi = min a.hi (b.hi - 1) in
+    if hi < a.lo then feasible := false
+    else refine_set st ra { a with hi };
+    let lo = max b.lo (a.lo + 1) in
+    if lo > b.hi then feasible := false else refine_set st rb { b with lo }
+  end;
+  (* value(a) < msg_len + c with c <= b.hi  ==>  msg_len > a.lo - b.hi *)
+  if b.base = Bmsg_len && a.base = Bnone then
+    st.len_min <- max st.len_min (a.lo + 1 - b.hi);
+  !feasible
+
+(* a >= b on the actual values. *)
+let refine_ge st ra rb =
+  let a = get st ra and b = get st rb in
+  let feasible = ref true in
+  if a.base = b.base then begin
+    let lo = max a.lo b.lo in
+    if lo > a.hi then feasible := false else refine_set st ra { a with lo };
+    let hi = min b.hi a.hi in
+    if hi < b.lo then feasible := false else refine_set st rb { b with hi }
+  end;
+  (* msg_len + c >= value(b) with c <= a.hi  ==>  msg_len >= b.lo - a.hi *)
+  if a.base = Bmsg_len && b.base = Bnone then
+    st.len_min <- max st.len_min (b.lo - a.hi);
+  !feasible
+
+let refine_eq st ra rb =
+  let a = get st ra and b = get st rb in
+  if a.base = b.base then begin
+    let lo = max a.lo b.lo and hi = min a.hi b.hi in
+    if lo > hi then false
+    else begin
+      let m = mk a.base lo hi in
+      refine_set st ra m;
+      refine_set st rb m;
+      true
+    end
+  end
+  else begin
+    if is_const a then refine_set st rb a
+    else if is_const b then refine_set st ra b;
+    true
+  end
+
+let refine_ne st ra rb =
+  let trim v c =
+    if is_const v && v.lo = c then None
+    else if v.base = Bnone && v.lo = c then Some { v with lo = c + 1 }
+    else if v.base = Bnone && v.hi = c then Some { v with hi = c - 1 }
+    else Some v
+  in
+  let a = get st ra and b = get st rb in
+  if is_const b then
+    match trim a b.lo with
+    | None -> false
+    | Some a' ->
+      refine_set st ra a';
+      true
+  else if is_const a then
+    match trim b a.lo with
+    | None -> false
+    | Some b' ->
+      refine_set st rb b';
+      true
+  else
+    not
+      (a.base = b.base && a.base <> Bnone && a.lo = a.hi && b.lo = b.hi
+       && a.lo = b.lo)
+
+(* Refine a copy of [st] along one edge of branch [insn].
+   [None] = edge provably never taken. *)
+let refine st insn ~taken =
+  let st = copy_state st in
+  let ok =
+    match (insn : Isa.insn) with
+    | Beq (a, b, _) -> if taken then refine_eq st a b else refine_ne st a b
+    | Bne (a, b, _) -> if taken then refine_ne st a b else refine_eq st a b
+    | Bltu (a, b, _) -> if taken then refine_lt st a b else refine_ge st a b
+    | Bgeu (a, b, _) -> if taken then refine_ge st a b else refine_lt st a b
+    | _ -> true
+  in
+  if ok then Some st else None
+
+(* Mark [o, o+size) relative to [b]'s current value as resident: the
+   access just succeeded and region residency never changes during a
+   run. *)
+let note_access st b o size =
+  if b <> Isa.reg_zero then
+    st.checked.(b) <-
+      (match st.checked.(b) with
+       | Some (l, h) when o <= h && o + size >= l ->
+         Some (min l o, max h (o + size))
+       | _ -> Some (o, o + size))
+
+let defs (insn : Isa.insn) =
+  match insn with
+  | Li (d, _) | Mov (d, _) | Bswap16 (d, _) | Bswap32 (d, _)
+  | Cksum32 (d, _)
+  | Add (d, _, _) | Sub (d, _, _) | Mul (d, _, _) | Divu (d, _, _)
+  | Remu (d, _, _) | And_ (d, _, _) | Or_ (d, _, _) | Xor_ (d, _, _)
+  | Sltu (d, _, _) | Adds (d, _, _) | Fadd (d, _, _)
+  | Addi (d, _, _) | Andi (d, _, _) | Ori (d, _, _) | Xori (d, _, _)
+  | Sll (d, _, _) | Srl (d, _, _)
+  | Ld8 (d, _, _) | Ld16 (d, _, _) | Ld32 (d, _, _) -> Some [ d ]
+  | Call (K_msg_len | K_msg_read8 | K_msg_read16 | K_msg_read32) ->
+    Some [ Isa.reg_arg0 ]
+  | Call K_dilp -> None
+  | Call (K_msg_write32 | K_copy | K_send) -> Some []
+  | St8 _ | St16 _ | St32 _ | Beq _ | Bne _ | Bltu _ | Bgeu _
+  | Jmp _ | Jr _ | Commit | Abort | Halt
+  | Check_addr _ | Check_div _ | Check_jump _ | Gas_probe -> Some []
+
+(* Transfer function for one instruction; mutates [st] into the
+   post-state, assuming the instruction completed without a fault (a
+   faulting path has no successor state). Branch refinement is done on
+   edges, not here. *)
+let step st (insn : Isa.insn) =
+  let binop_add a b =
+    match (a.base, b.base) with
+    | Bnone, Bnone ->
+      if is_const a && is_const b then const (mask32 (a.lo + b.lo))
+      else plain_exact (a.lo + b.lo) (a.hi + b.hi)
+    | _, Bnone -> based a.base (a.lo + b.lo) (a.hi + b.hi)
+    | Bnone, _ -> based b.base (a.lo + b.lo) (a.hi + b.hi)
+    | _, _ -> top
+  in
+  let binop_sub a b =
+    match (a.base, b.base) with
+    | Bnone, Bnone ->
+      if is_const a && is_const b then const (mask32 (a.lo - b.lo))
+      else plain_exact (a.lo - b.hi) (a.hi - b.lo)
+    | bb, Bnone -> based bb (a.lo - b.hi) (a.hi - b.lo)
+    | b1, b2 when b1 = b2 -> plain_exact (a.lo - b.hi) (a.hi - b.lo)
+    | _, _ -> top
+  in
+  match insn with
+  | Li (d, v) -> set st d (const (mask32 v))
+  | Mov (d, s) ->
+    let v = get st s in
+    set_shifted st d v ~src:s ~delta:0
+  | Add (d, a, b) ->
+    let va = get st a and vb = get st b in
+    let v = binop_add va vb in
+    if is_const vb && vb.lo < off_cap then
+      set_shifted st d v ~src:a ~delta:vb.lo
+    else if is_const va && va.lo < off_cap then
+      set_shifted st d v ~src:b ~delta:va.lo
+    else set st d v
+  | Addi (d, a, c) ->
+    if c >= 0 && c < off_cap then
+      set_shifted st d (binop_add (get st a) (const c)) ~src:a ~delta:c
+    else if c < 0 && -c < off_cap then
+      set_shifted st d (binop_sub (get st a) (const (-c))) ~src:a ~delta:c
+    else set st d top
+  | Sub (d, a, b) -> set st d (binop_sub (get st a) (get st b))
+  | Mul (d, a, b) ->
+    let va = get st a and vb = get st b in
+    let v =
+      if is_const va && is_const vb then const (mask32 (va.lo * vb.lo))
+      else if va.base = Bnone && vb.base = Bnone && va.hi * vb.hi <= u32max
+      then plain_exact (va.lo * vb.lo) (va.hi * vb.hi)
+      else top
+    in
+    set st d v
+  | Divu (d, a, b) ->
+    let va = get st a and vb = get st b in
+    (* Surviving the division proves the divisor nonzero. *)
+    if b <> d && vb.base = Bnone && vb.lo = 0 && vb.hi > 0 then
+      refine_set st b { vb with lo = 1 };
+    let v =
+      if va.base = Bnone && vb.base = Bnone && vb.lo >= 1 then
+        plain_exact (va.lo / vb.hi) (va.hi / vb.lo)
+      else top
+    in
+    set st d v
+  | Remu (d, a, b) ->
+    let va = get st a and vb = get st b in
+    if b <> d && vb.base = Bnone && vb.lo = 0 && vb.hi > 0 then
+      refine_set st b { vb with lo = 1 };
+    let v =
+      if vb.base = Bnone && vb.lo >= 1 then
+        plain 0 (min (vb.hi - 1) (if va.base = Bnone then va.hi else u32max))
+      else top
+    in
+    set st d v
+  | And_ (d, a, b) ->
+    let va = get st a and vb = get st b in
+    let v =
+      if is_const va && is_const vb then const (va.lo land vb.lo)
+      else
+        match (va.base, vb.base) with
+        | Bnone, Bnone -> plain 0 (min va.hi vb.hi)
+        | Bnone, _ -> plain 0 va.hi
+        | _, Bnone -> plain 0 vb.hi
+        | _ -> top
+    in
+    set st d v
+  | Andi (d, a, c) ->
+    let va = get st a in
+    let v =
+      if is_const va then const (mask32 (va.lo land c))
+      else if c >= 0 then plain 0 (if va.base = Bnone then min c va.hi else c)
+      else if va.base = Bnone then plain 0 va.hi
+      else top
+    in
+    set st d v
+  | Or_ (d, a, b) ->
+    let va = get st a and vb = get st b in
+    let v =
+      if is_const va && is_const vb then const (mask32 (va.lo lor vb.lo))
+      else if va.base = Bnone && vb.base = Bnone then
+        plain_exact (max va.lo vb.lo) (va.hi + vb.hi)
+      else top
+    in
+    set st d v
+  | Ori (d, a, c) ->
+    let va = get st a in
+    let v =
+      if is_const va then const (mask32 (va.lo lor c))
+      else if c >= 0 && va.base = Bnone then
+        plain_exact (max va.lo c) (va.hi + c)
+      else top
+    in
+    set st d v
+  | Xor_ (d, a, b) ->
+    let va = get st a and vb = get st b in
+    set st d
+      (if is_const va && is_const vb then const (mask32 (va.lo lxor vb.lo))
+       else top)
+  | Xori (d, a, c) ->
+    let va = get st a in
+    set st d (if is_const va then const (mask32 (va.lo lxor c)) else top)
+  | Sll (d, a, c) ->
+    let s = c land 31 in
+    let va = get st a in
+    let v =
+      if is_const va then const (mask32 (va.lo lsl s))
+      else if va.base = Bnone && va.hi lsl s <= u32max then
+        plain_exact (va.lo lsl s) (va.hi lsl s)
+      else top
+    in
+    set st d v
+  | Srl (d, a, c) ->
+    let s = c land 31 in
+    let va = get st a in
+    let v =
+      if va.base = Bnone then plain (va.lo lsr s) (va.hi lsr s)
+      else plain 0 (u32max lsr s)
+    in
+    set st d v
+  | Sltu (d, _, _) -> set st d (plain 0 1)
+  | Ld8 (d, b, o) ->
+    note_access st b o 1;
+    set st d (plain 0 0xff)
+  | Ld16 (d, b, o) ->
+    note_access st b o 2;
+    set st d (plain 0 0xffff)
+  | Ld32 (d, b, o) ->
+    note_access st b o 4;
+    set st d top
+  | St8 (_, b, o) -> note_access st b o 1
+  | St16 (_, b, o) -> note_access st b o 2
+  | St32 (_, b, o) -> note_access st b o 4
+  | Call k -> begin
+      let a0 = get st Isa.reg_arg0 in
+      (* A successful bounds-checked call proves msg_len >= off + size:
+         the §III-B2 aggregated check just passed. *)
+      (match k with
+       | Isa.K_msg_read8 when a0.base = Bnone ->
+         st.len_min <- max st.len_min (a0.lo + 1)
+       | Isa.K_msg_read16 when a0.base = Bnone ->
+         st.len_min <- max st.len_min (a0.lo + 2)
+       | Isa.(K_msg_read32 | K_msg_write32) when a0.base = Bnone ->
+         st.len_min <- max st.len_min (a0.lo + 4)
+       | Isa.K_copy ->
+         let a2 = get st Isa.reg_arg2 in
+         if a0.base = Bnone && a2.base = Bnone then
+           st.len_min <- max st.len_min (a0.lo + a2.lo)
+       | _ -> ());
+      match k with
+      | Isa.K_msg_len -> set st Isa.reg_arg0 (based Bmsg_len 0 0)
+      | Isa.K_msg_read8 -> set st Isa.reg_arg0 (plain 0 0xff)
+      | Isa.K_msg_read16 -> set st Isa.reg_arg0 (plain 0 0xffff)
+      | Isa.K_msg_read32 -> set st Isa.reg_arg0 top
+      | Isa.K_msg_write32 | Isa.K_copy | Isa.K_send -> ()
+      | Isa.K_dilp ->
+        (* The DILP callback may export into any register; len_min is
+           about the immutable message, so it survives the clobber. *)
+        for r = 0 to Isa.num_regs - 1 do
+          if r <> Isa.reg_zero then begin
+            st.regs.(r) <- top;
+            st.checked.(r) <- None
+          end
+        done;
+        set st Isa.reg_arg0 (plain 0 1)
+    end
+  | Cksum32 (d, _) -> set st d top
+  | Bswap16 (d, _) -> set st d (plain 0 0xffff)
+  | Bswap32 (d, _) -> set st d top
+  | Adds (d, a, b) -> set st d (binop_add (get st a) (get st b))
+  | Fadd (d, _, _) -> set st d top
+  | Beq _ | Bne _ | Bltu _ | Bgeu _ | Jmp _ | Jr _
+  | Commit | Abort | Halt
+  | Check_addr _ | Check_div _ | Check_jump _ | Gas_probe -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Fixpoint over the CFG                                             *)
+(* ---------------------------------------------------------------- *)
+
+let widen_threshold = 4
+
+let fixpoint (cfg : Cfg.t) =
+  let nb = Array.length cfg.Cfg.blocks in
+  let code = cfg.Cfg.program.Program.code in
+  let in_state : state option array = Array.make nb None in
+  let joins = Array.make nb 0 in
+  (* Widening is confined to retreating-edge targets: every cycle runs
+     through one (any cycle has an edge against reverse postorder), so
+     termination holds, and straight-line blocks keep the precision of
+     branch refinement no matter how often the loop re-queues them. *)
+  let rank = Array.make nb max_int in
+  Array.iteri (fun i b -> rank.(b) <- i) cfg.Cfg.rpo;
+  let widen_point = Array.make nb false in
+  Array.iteri
+    (fun b blk ->
+       List.iter
+         (fun s -> if rank.(b) >= rank.(s) then widen_point.(s) <- true)
+         blk.Cfg.succs)
+    cfg.Cfg.blocks;
+  in_state.(0) <- Some (initial ());
+  let queue = Queue.create () in
+  let queued = Array.make nb false in
+  let enqueue b =
+    if not queued.(b) then begin
+      queued.(b) <- true;
+      Queue.add b queue
+    end
+  in
+  enqueue 0;
+  (* Walk one block from its in-state to the out-state. *)
+  let flow_block b st =
+    let blk = cfg.Cfg.blocks.(b) in
+    let st = copy_state st in
+    for i = blk.Cfg.first to blk.Cfg.last do
+      step st code.(i)
+    done;
+    st
+  in
+  let edge_states b out =
+    let blk = cfg.Cfg.blocks.(b) in
+    let last = code.(blk.Cfg.last) in
+    match last with
+    | Isa.Beq _ | Isa.Bne _ | Isa.Bltu _ | Isa.Bgeu _ ->
+      let target = Option.get (Isa.branch_target last) in
+      let edges = ref [] in
+      (match refine out last ~taken:true with
+       | Some st when target >= 0 && target < Array.length code ->
+         edges := (cfg.Cfg.block_of.(target), st) :: !edges
+       | _ -> ());
+      (match refine out last ~taken:false with
+       | Some st when blk.Cfg.last + 1 < Array.length code ->
+         edges := (cfg.Cfg.block_of.(blk.Cfg.last + 1), st) :: !edges
+       | _ -> ());
+      !edges
+    | _ ->
+      (* Unconditional successors: same state on each edge ([Jr] does
+         not change registers). *)
+      List.map (fun s -> (s, copy_state out)) blk.Cfg.succs
+  in
+  let merge_into succ st =
+    match in_state.(succ) with
+    | None ->
+      in_state.(succ) <- Some st;
+      joins.(succ) <- joins.(succ) + 1;
+      enqueue succ
+    | Some old ->
+      let joined = join_state old st in
+      let joined =
+        if widen_point.(succ) && joins.(succ) >= widen_threshold then
+          widen_state old joined
+        else joined
+      in
+      if not (equal_state old joined) then begin
+        in_state.(succ) <- Some joined;
+        joins.(succ) <- joins.(succ) + 1;
+        enqueue succ
+      end
+  in
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    queued.(b) <- false;
+    match in_state.(b) with
+    | None -> ()
+    | Some st ->
+      let out = flow_block b st in
+      List.iter (fun (s, est) -> merge_into s est) (edge_states b out)
+  done;
+  in_state
+
+(* ---------------------------------------------------------------- *)
+(* Per-instruction facts and elision decisions                       *)
+(* ---------------------------------------------------------------- *)
+
+let elide_mem st b o size =
+  let v = get st b in
+  if v.base = Bmsg_addr && v.lo + o >= 0 && v.hi + o + size <= st.len_min
+  then Some "in msg bounds"
+  else
+    match (if b = Isa.reg_zero then None else st.checked.(b)) with
+    | Some (wl, wh) when wl <= o && o + size <= wh ->
+      Some "covered by earlier access"
+    | _ -> None
+
+let elide_div st d =
+  let v = get st d in
+  if v.base = Bnone && v.lo >= 1 then Some "divisor nonzero"
+  else if v.base = Bmsg_len && st.len_min + v.lo >= 1 then
+    Some "divisor nonzero (len)"
+  else if v.base = Bmsg_addr && v.lo >= 1 then None (* addr 0 unknowable *)
+  else None
+
+let decide code pre i =
+  match pre with
+  | None -> None (* unreachable: keep checks, they cost nothing *)
+  | Some st -> (
+      match (code.(i) : Isa.insn) with
+      | Ld8 (_, b, o) | St8 (_, b, o) -> elide_mem st b o 1
+      | Ld16 (_, b, o) | St16 (_, b, o) -> elide_mem st b o 2
+      | Ld32 (_, b, o) | St32 (_, b, o) -> elide_mem st b o 4
+      | Divu (_, _, d) | Remu (_, _, d) -> elide_div st d
+      | Jr r ->
+        let v = get st r in
+        if is_const v && v.lo >= 0 && v.lo < Array.length code then
+          Some "constant in-range target"
+        else None
+      | _ -> None)
+
+let analyze (p : Program.t) =
+  let cfg = Cfg.build p in
+  let code = p.Program.code in
+  let n = Array.length code in
+  let in_state = fixpoint cfg in
+  let pre = Array.make n None in
+  Array.iteri
+    (fun b st_opt ->
+       match st_opt with
+       | None -> ()
+       | Some st ->
+         let blk = cfg.Cfg.blocks.(b) in
+         let st = copy_state st in
+         for i = blk.Cfg.first to blk.Cfg.last do
+           pre.(i) <- Some (copy_state st);
+           step st code.(i)
+         done)
+    in_state;
+  let elide = Array.make n false in
+  let reason = Array.make n "" in
+  for i = 0 to n - 1 do
+    match decide code pre.(i) i with
+    | Some why ->
+      elide.(i) <- true;
+      reason.(i) <- why
+    | None -> ()
+  done;
+  { cfg; pre; elide; reason }
+
+let elided_checks t = Array.fold_left (fun n e -> if e then n + 1 else n) 0 t.elide
+
+(* ---------------------------------------------------------------- *)
+(* Fact-table dump                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let pp_aval ppf v =
+  let pfx =
+    match v.base with Bnone -> "" | Bmsg_addr -> "msg+" | Bmsg_len -> "len+"
+  in
+  if v.base = Bnone && v.lo = 0 && v.hi = u32max then
+    Format.pp_print_string ppf "top"
+  else if v.lo = v.hi then Format.fprintf ppf "%s%d" pfx v.lo
+  else Format.fprintf ppf "%s[%d,%d]" pfx v.lo v.hi
+
+let srcs (insn : Isa.insn) =
+  match insn with
+  | Li _ | Jmp _ | Call _ | Commit | Abort | Halt | Gas_probe -> []
+  | Mov (_, s) | Bswap16 (_, s) | Bswap32 (_, s) -> [ s ]
+  | Cksum32 (d, s) -> [ d; s ]
+  | Add (_, a, b) | Sub (_, a, b) | Mul (_, a, b) | Divu (_, a, b)
+  | Remu (_, a, b) | And_ (_, a, b) | Or_ (_, a, b) | Xor_ (_, a, b)
+  | Sltu (_, a, b) | Adds (_, a, b) | Fadd (_, a, b) -> [ a; b ]
+  | Addi (_, a, _) | Andi (_, a, _) | Ori (_, a, _) | Xori (_, a, _)
+  | Sll (_, a, _) | Srl (_, a, _) -> [ a ]
+  | Ld8 (_, b, _) | Ld16 (_, b, _) | Ld32 (_, b, _) -> [ b ]
+  | St8 (s, b, _) | St16 (s, b, _) | St32 (s, b, _) -> [ s; b ]
+  | Beq (a, b, _) | Bne (a, b, _) | Bltu (a, b, _) | Bgeu (a, b, _) ->
+    [ a; b ]
+  | Jr r | Check_div r | Check_jump r | Check_addr (r, _, _) -> [ r ]
+
+let needs_check (insn : Isa.insn) =
+  match insn with
+  | Ld8 _ | Ld16 _ | Ld32 _ | St8 _ | St16 _ | St32 _ | Divu _ | Remu _
+  | Jr _ -> true
+  | _ -> false
+
+let pp_facts ppf t =
+  let code = t.cfg.Cfg.program.Program.code in
+  Format.fprintf ppf "; per-instruction facts (download-time absint)@.";
+  Array.iteri
+    (fun i insn ->
+       let facts =
+         match t.pre.(i) with
+         | None -> "unreachable"
+         | Some st ->
+           let regs =
+             List.sort_uniq compare (srcs insn)
+             |> List.map (fun r ->
+                 Format.asprintf "r%d=%a" r pp_aval (get st r))
+           in
+           let parts =
+             regs
+             @ (if st.len_min > 0 then
+                  [ Printf.sprintf "len>=%d" st.len_min ]
+                else [])
+           in
+           String.concat " " parts
+       in
+       let verdict =
+         if not (needs_check insn) then ""
+         else if t.elide.(i) then Printf.sprintf "  ELIDE (%s)" t.reason.(i)
+         else "  keep check"
+       in
+       Format.fprintf ppf "%3d: %-26s ; %s%s@." i (Isa.to_string insn) facts
+         verdict)
+    code

@@ -1,4 +1,16 @@
-type stats = { original : int; added : int }
+type stats = {
+  original : int;
+  added : int;
+  addr_checks_elided : int;
+  div_checks_elided : int;
+  jump_checks_elided : int;
+  probes_elided : int;
+  exit_insns_saved : int;
+  static_bound : int option;
+}
+
+let checks_elided st =
+  st.addr_checks_elided + st.div_checks_elided + st.jump_checks_elided
 
 let prologue =
   (* Segment-register setup of Wahbe-style SFI: load the address-space
@@ -11,29 +23,75 @@ let exit_code =
   [ Isa.Mov (31, 31); Isa.Mov (31, 31);
     Isa.Gas_probe; Isa.Gas_probe; Isa.Gas_probe ]
 
-let checks_for (insn : Isa.insn) =
+let check_for (insn : Isa.insn) =
   match insn with
-  | Ld8 (_, b, o) | St8 (_, b, o) -> [ Isa.Check_addr (b, o, 1) ]
-  | Ld16 (_, b, o) | St16 (_, b, o) -> [ Isa.Check_addr (b, o, 2) ]
-  | Ld32 (_, b, o) | St32 (_, b, o) -> [ Isa.Check_addr (b, o, 4) ]
-  | Divu (_, _, d) | Remu (_, _, d) -> [ Isa.Check_div d ]
-  | Jr r -> [ Isa.Check_jump r ]
-  | Commit | Abort | Halt -> exit_code
-  | _ -> []
+  | Ld8 (_, b, o) | St8 (_, b, o) -> Some (Isa.Check_addr (b, o, 1))
+  | Ld16 (_, b, o) | St16 (_, b, o) -> Some (Isa.Check_addr (b, o, 2))
+  | Ld32 (_, b, o) | St32 (_, b, o) -> Some (Isa.Check_addr (b, o, 4))
+  | Divu (_, _, d) | Remu (_, _, d) -> Some (Isa.Check_div d)
+  | Jr r -> Some (Isa.Check_jump r)
+  | _ -> None
 
-let apply ?(gas_checks = false) (p : Program.t) =
+let risky_checks (p : Program.t) =
+  Array.fold_left
+    (fun n insn -> if check_for insn <> None then n + 1 else n)
+    0 p.Program.code
+
+let check_cost (costs : Ash_sim.Costs.t) (c : Isa.insn) =
+  Isa.base_cycles c + costs.Ash_sim.Costs.sandboxed_insn_extra_cycles
+
+let apply ?(gas_checks = false) ?(absint = false) ?(specialize_exit = false)
+    ?(gas_budget = Interp.default_gas) (p : Program.t) =
   if p.Program.jump_map <> None then
     invalid_arg "Sandbox.apply: program is already sandboxed";
   let code = p.Program.code in
   let n = Array.length code in
+  let facts = if absint then Some (Absint.analyze p) else None in
+  let elide i =
+    match facts with Some a -> a.Absint.elide.(i) | None -> false
+  in
   (* Which old indices are targets of backward branches? *)
   let back_target = Array.make n false in
   Array.iteri
     (fun i insn ->
        match Isa.branch_target insn with
-       | Some t when t <= i -> back_target.(t) <- true
+       | Some t when t >= 0 && t <= i -> back_target.(t) <- true
        | Some _ | None -> ())
     code;
+  (* §III-B3: a provable worst-case bound inside the gas budget makes
+     every probe redundant (the interpreter's own per-step budget check
+     remains as the backstop the timer provides in the paper). *)
+  let costs = Ash_sim.Costs.decstation in
+  let static_bound =
+    match facts with
+    | None -> None
+    | Some a ->
+      let check_cycles i =
+        if elide i then 0
+        else
+          match check_for code.(i) with
+          | Some c -> check_cost costs c
+          | None -> 0
+      in
+      let cycles_of insns =
+        List.fold_left
+          (fun s c ->
+             s
+             + (if Isa.is_sandbox_check c then check_cost costs c
+                else Isa.base_cycles c))
+          0 insns
+      in
+      let overhead =
+        cycles_of prologue
+        + if specialize_exit then 0 else cycles_of exit_code
+      in
+      (match Bound.compute ~costs ~check_cycles ~overhead a with
+       | Bound.Bounded b -> Some b
+       | Bound.Unbounded _ -> None)
+  in
+  let probes_statically_covered =
+    match static_bound with Some b -> b <= gas_budget | None -> false
+  in
   let out = ref [] in
   let out_len = ref 0 in
   let emit insn =
@@ -42,11 +100,31 @@ let apply ?(gas_checks = false) (p : Program.t) =
   in
   List.iter emit prologue;
   let new_pos = Array.make n 0 in
+  let addr_el = ref 0 and div_el = ref 0 and jump_el = ref 0 in
+  let probes_el = ref 0 and exit_saved = ref 0 in
   Array.iteri
     (fun i insn ->
        new_pos.(i) <- !out_len;
-       if gas_checks && back_target.(i) then emit Isa.Gas_probe;
-       List.iter emit (checks_for insn);
+       if gas_checks && back_target.(i) then begin
+         if probes_statically_covered then incr probes_el
+         else emit Isa.Gas_probe
+       end;
+       (match insn with
+        | Isa.Commit | Isa.Abort | Isa.Halt ->
+          if specialize_exit then exit_saved := !exit_saved + List.length exit_code
+          else List.iter emit exit_code
+        | _ -> (
+            match check_for insn with
+            | Some c ->
+              if elide i then begin
+                match c with
+                | Isa.Check_addr _ -> incr addr_el
+                | Isa.Check_div _ -> incr div_el
+                | Isa.Check_jump _ -> incr jump_el
+                | _ -> ()
+              end
+              else emit c
+            | None -> ()));
        emit insn)
     code;
   let rewritten =
@@ -62,4 +140,12 @@ let apply ?(gas_checks = false) (p : Program.t) =
       code = rewritten;
       jump_map = Some new_pos }
   in
-  (sandboxed, { original = n; added = Array.length rewritten - n })
+  ( sandboxed,
+    { original = n;
+      added = Array.length rewritten - n;
+      addr_checks_elided = !addr_el;
+      div_checks_elided = !div_el;
+      jump_checks_elided = !jump_el;
+      probes_elided = !probes_el;
+      exit_insns_saved = !exit_saved;
+      static_bound } )

@@ -13,6 +13,20 @@
       exit code" the paper blames for a large fraction of the added
       instructions (§V-D).
 
+    With [~absint:true] the download-time abstract interpreter
+    ({!Absint}) runs first and checks it proves redundant are simply
+    not emitted; checks are only dropped, never widened or moved, so
+    the optimized program is observably identical to the fully checked
+    one (modulo the cycles of the elided checks — see
+    test/test_absint.ml). When every loop has a provable trip count
+    the worst-case cycle bound ({!Bound}) replaces gas probes
+    entirely: a handler that provably finishes inside [gas_budget]
+    needs no dynamic probes (§III-B3's static/dynamic split).
+
+    [~specialize_exit:true] is the §V-D "smarter sandboxer": it drops
+    the 5-instruction exit code, whose only purpose is to model the
+    naive rewriter's overhead.
+
     Direct branch targets are remapped to the start of the rewritten
     instruction's check group; the old-to-new index map is kept in the
     program so indirect jumps through pre-sandboxing addresses can be
@@ -21,8 +35,38 @@
 type stats = {
   original : int;   (** Instructions before rewriting. *)
   added : int;      (** Instructions inserted by the sandboxer. *)
+  addr_checks_elided : int;
+  (** [Check_addr]s proven unnecessary and not emitted. *)
+  div_checks_elided : int;
+  jump_checks_elided : int;
+  probes_elided : int;
+  (** Gas probes not emitted because a static bound replaced them. *)
+  exit_insns_saved : int;
+  (** Instructions saved by [~specialize_exit]. *)
+  static_bound : int option;
+  (** Provable worst-case cycles for one run of the sandboxed program,
+      when all loops have provable trip counts. *)
 }
 
-val apply : ?gas_checks:bool -> Program.t -> Program.t * stats
-(** Rewrite the program. Raises [Invalid_argument] if the input is
-    already sandboxed (has a jump map). *)
+val checks_elided : stats -> int
+(** Total checks elided (address + divisor + jump). *)
+
+val risky_checks : Program.t -> int
+(** Instructions in an un-sandboxed program that would each receive a
+    check (loads/stores, divisions, indirect jumps). [risky_checks p -
+    checks_elided stats] is the residual dynamic-check count; [ashbench
+    lint] gates on it. *)
+
+val apply :
+  ?gas_checks:bool ->
+  ?absint:bool ->
+  ?specialize_exit:bool ->
+  ?gas_budget:int ->
+  Program.t ->
+  Program.t * stats
+(** Rewrite the program. [absint] and [specialize_exit] default to
+    [false], so plain [apply p] behaves exactly like the naive
+    sandboxer. [gas_budget] (default {!Interp.default_gas}) is the
+    cycle budget a static bound must fit inside for gas probes to be
+    dropped. Raises [Invalid_argument] if the input is already
+    sandboxed (has a jump map). *)

@@ -8,6 +8,12 @@ let pp_error ppf e =
 
 let reg_ok r = r >= 0 && r < Isa.num_regs
 
+(* An immediate fits if it is representable in 32 bits either as a
+   signed or as an unsigned constant — the union [-2^31, 2^32). The
+   interpreter masks results, so a wider immediate would silently mean
+   something else; reject it instead. *)
+let imm_ok v = v >= -0x8000_0000 && v <= 0xffff_ffff
+
 let regs_of (insn : Isa.insn) =
   match insn with
   | Li (d, _) -> [ d ]
@@ -50,6 +56,12 @@ let check ?(allowed_calls =
         err i insn "sandbox-internal instruction in user code"
       | Isa.Call k when not (List.mem k allowed_calls) ->
         err i insn "kernel call not in the allowed set"
+      | Isa.Sll (_, _, s) | Isa.Srl (_, _, s) when s < 0 || s > 31 ->
+        err i insn "shift amount outside [0,31]"
+      | Isa.Li (_, v) | Isa.Addi (_, _, v) | Isa.Andi (_, _, v)
+      | Isa.Ori (_, _, v) | Isa.Xori (_, _, v)
+        when not (imm_ok v) ->
+        err i insn "immediate does not fit in 32 bits"
       | _ ->
         if List.exists (fun r -> not (reg_ok r)) (regs_of insn) then
           err i insn "register operand out of range"

@@ -10,7 +10,19 @@
     - register operands must be architectural;
     - kernel calls must be within the caller-supplied allowed set;
     - user code must not contain sandbox-internal check instructions
-      (those are inserted, never imported). *)
+      (those are inserted, never imported);
+    - shift amounts must be in [0, 31] — the hardware would mask a
+      wider amount, so accepting one would let a program mean
+      something other than what it says;
+    - immediates must fit in 32 bits, i.e. lie in [-2^31, 2^32): the
+      interpreter masks every result to 32 bits, so a wider immediate
+      would be silently reinterpreted.
+
+    Writes to [r0] ([Isa.reg_zero]) are deliberately {e allowed}: as
+    on MIPS, r0 reads as zero and writes to it are architecturally
+    ignored (the interpreter discards them), so such code is dead but
+    harmless — rejecting it would turn a portability idiom ("discard
+    this result") into a download failure. *)
 
 type error = { at : int; insn : Isa.insn option; reason : string }
 

@@ -260,7 +260,7 @@ let test_shape_sandbox_amortizes () =
 
 let test_shape_specific_beats_generic () =
   let insns variant sandboxed =
-    (Ash_core.Exp_sandbox.run_once ~variant ~sandboxed ~payload_len:40)
+    (Ash_core.Exp_sandbox.run_once ~variant ~sandboxed ~payload_len:40 ())
       .Ash_vm.Interp.insns
   in
   let specific_sandboxed = insns Ash_core.Exp_sandbox.Specific true in

@@ -170,7 +170,50 @@ let test_verify_rejects_denied_call () =
 
 let test_verify_rejects_smuggled_checks () =
   expect_reject (prog [ Isa.Gas_probe; Isa.Halt ]) "sandbox-internal";
-  expect_reject (prog [ Isa.Check_addr (1, 0, 4); Isa.Halt ]) "sandbox-internal"
+  expect_reject (prog [ Isa.Check_addr (1, 0, 4); Isa.Halt ]) "sandbox-internal";
+  expect_reject (prog [ Isa.Check_div 1; Isa.Halt ]) "sandbox-internal";
+  expect_reject (prog [ Isa.Check_jump 1; Isa.Halt ]) "sandbox-internal"
+
+let test_verify_rejects_empty () =
+  (* Program.make refuses an empty array, so build the record directly:
+     the verifier must still catch a hand-rolled empty program. *)
+  expect_reject
+    { Program.name = "empty"; code = [||]; jump_map = None }
+    "empty program"
+
+let test_verify_rejects_bad_shift () =
+  expect_reject (prog [ Isa.Sll (5, 5, 32); Isa.Halt ]) "shift amount";
+  expect_reject (prog [ Isa.Srl (5, 5, -1); Isa.Halt ]) "shift amount";
+  (* The boundary values are fine. *)
+  match Verify.check (prog [ Isa.Sll (5, 5, 31); Isa.Srl (5, 5, 0); Isa.Halt ])
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected boundary shifts: %a" Verify.pp_error e
+
+let test_verify_rejects_bad_immediate () =
+  expect_reject (prog [ Isa.Li (5, 0x1_0000_0000); Isa.Halt ]) "immediate";
+  expect_reject (prog [ Isa.Addi (5, 5, -0x8000_0001); Isa.Halt ]) "immediate";
+  expect_reject (prog [ Isa.Xori (5, 5, 0x2_0000_0000); Isa.Halt ]) "immediate";
+  (* Extremes of the accepted range pass. *)
+  match
+    Verify.check
+      (prog [ Isa.Li (5, 0xffff_ffff); Isa.Addi (5, 5, -0x8000_0000);
+              Isa.Halt ])
+  with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "rejected boundary immediates: %a" Verify.pp_error e
+
+let test_verify_rejects_negative_register () =
+  expect_reject (prog [ Isa.Mov (-1, 5); Isa.Halt ]) "register";
+  expect_reject (prog [ Isa.Add (5, -2, 5); Isa.Halt ]) "register"
+
+let test_verify_accepts_r0_write () =
+  (* MIPS-style: writing r0 is legal and the write is discarded; the
+     verifier deliberately has no r0-write rule (documented policy). *)
+  match Verify.check (prog [ Isa.Li (0, 7); Isa.Add (0, 5, 5); Isa.Halt ]) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected r0 write: %a" Verify.pp_error e
 
 (* ------------------------------------------------------------------ *)
 (* Sandbox                                                             *)
@@ -782,6 +825,16 @@ let () =
             test_verify_rejects_denied_call;
           Alcotest.test_case "rejects smuggled checks" `Quick
             test_verify_rejects_smuggled_checks;
+          Alcotest.test_case "rejects empty program" `Quick
+            test_verify_rejects_empty;
+          Alcotest.test_case "rejects bad shift amounts" `Quick
+            test_verify_rejects_bad_shift;
+          Alcotest.test_case "rejects oversized immediates" `Quick
+            test_verify_rejects_bad_immediate;
+          Alcotest.test_case "rejects negative registers" `Quick
+            test_verify_rejects_negative_register;
+          Alcotest.test_case "accepts writes to r0" `Quick
+            test_verify_accepts_r0_write;
         ] );
       ( "sandbox",
         [
