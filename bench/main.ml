@@ -35,6 +35,7 @@ let experiments : (string * (unit -> Report.table)) list =
     ("dilp-scaling", Core.Exp_ilp.dilp_scaling);
     ("striped", Core.Exp_ablate.striped);
     ("absint", Core.Exp_ablate.absint);
+    ("chaos", fun () -> Core.Exp_chaos.chaos ());
   ]
 
 (* -- Bechamel: host-side cost of each experiment's simulation kernel -- *)

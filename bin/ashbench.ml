@@ -29,6 +29,8 @@ let experiments : (string * string * (unit -> Report.table)) list =
     ("striped", "striped vs contiguous DILP back ends", Core.Exp_ablate.striped);
     ("absint", "download-time static analysis vs full checking",
      Core.Exp_ablate.absint);
+    ("chaos", "TCP goodput vs seeded loss (fixed vs adaptive RTO)",
+     fun () -> Core.Exp_chaos.chaos ());
   ]
 
 let handlers : (string * (unit -> Program.t)) list =
@@ -222,6 +224,46 @@ let assemble_cmd =
   in
   Cmd.v (Cmd.info "assemble" ~doc) Term.(const run $ path_arg)
 
+let chaos_cmd =
+  let doc =
+    "Fault-injection experiment: run the goodput-vs-loss-rate curves \
+     (fixed 20 ms RTO vs adaptive+fast-retransmit) under a seeded, \
+     deterministic loss plan and print per-policy goodput and \
+     retransmission counts."
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+           ~doc:"Fault-plan seed: same seed, same lost frames.")
+  in
+  let total =
+    Arg.(value & opt int 262_144
+         & info [ "total" ] ~docv:"BYTES"
+           ~doc:"Bytes transferred per run (default 256 KB).")
+  in
+  let run seed total =
+    if total < 8192 then begin
+      Printf.eprintf "--total must be >= 8192\n";
+      exit 2
+    end;
+    Format.printf "TCP goodput under seeded loss (seed %d, %d-byte \
+                   transfers)@.@." seed total;
+    List.iter
+      (fun (policy, runs) ->
+         Format.printf "  %s@." policy;
+         List.iter
+           (fun r ->
+              Format.printf
+                "    %5.1f%% loss: %7.2f MB/s   (%d retransmits, %d fast)@."
+                (100. *. r.Core.Exp_chaos.rate)
+                r.Core.Exp_chaos.goodput_mbs r.Core.Exp_chaos.retransmits
+                r.Core.Exp_chaos.fast_retransmits)
+           runs)
+      (Core.Exp_chaos.curves ~seed ~total ());
+    Format.printf "@.%a" Report.print (Core.Exp_chaos.chaos ~seed ~total ())
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ total)
+
 let lint_cmd =
   let doc =
     "Batch-check handler source files: assemble, verify, and run the \
@@ -299,4 +341,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; inspect_cmd; assemble_cmd; lint_cmd ]))
+          [ list_cmd; run_cmd; inspect_cmd; assemble_cmd; chaos_cmd;
+            lint_cmd ]))

@@ -330,7 +330,7 @@ let udp_train_throughput ~checksum ~in_place ~medium ?(train = 6) ?(rounds = 8)
 (* ------------------------------------------------------------------ *)
 
 let tcp_pair ~mode ~checksum ~in_place ?(mss = 3072) ?(suspended = false)
-    ?(medium = `An2) tb =
+    ?(medium = `An2) ?(rto = Tcp.default_rto) ?(fast_retransmit = true) tb =
   let tcp_medium =
     match medium with
     | `An2 -> Tcp.Tcp_an2 { vc = 6 }
@@ -341,7 +341,7 @@ let tcp_pair ~mode ~checksum ~in_place ?(mss = 3072) ?(suspended = false)
     Tcp.create kernel
       { Tcp.default_config with
         Tcp.medium = tcp_medium; local_port = local; remote_port = remote;
-        iss; mode; checksum; in_place; mss }
+        iss; mode; checksum; in_place; mss; rto; fast_retransmit }
   in
   let c = mk 4000 4001 1000 tb.Testbed.client.Testbed.kernel in
   let s = mk 4001 4000 5000 tb.Testbed.server.Testbed.kernel in

@@ -74,10 +74,15 @@ val tcp_pair :
   ?mss:int ->
   ?suspended:bool ->
   ?medium:[ `An2 | `Eth ] ->
+  ?rto:Ash_proto.Tcp.rto_policy ->
+  ?fast_retransmit:bool ->
   Testbed.t ->
   Ash_proto.Tcp.t * Ash_proto.Tcp.t
 (** Create, connect and (optionally) suspend a client/server connection
-    pair on an existing testbed. Returns (client, server). *)
+    pair on an existing testbed. Returns (client, server). [rto] and
+    [fast_retransmit] (defaults: adaptive, on) select the loss-recovery
+    policy — the chaos experiments compare policies under injected
+    faults. *)
 
 val tcp_latency :
   mode:Ash_proto.Tcp.mode ->

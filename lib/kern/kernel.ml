@@ -26,9 +26,12 @@ type app_state = Polling | Suspended
 type stats = {
   rx_delivered : int;
   rx_dropped_unbound : int;
+  rx_dropped_crc : int;
+  rx_dropped_queue : int;
   ash_committed : int;
   ash_aborted_voluntary : int;
   ash_aborted_involuntary : int;
+  ash_quarantined : int;
   upcalls : int;
   user_deliveries : int;
   tx_frames : int;
@@ -41,6 +44,8 @@ type ash = {
   allowed : Isa.kcall list;
   sb_stats : Sandbox.stats option;
   mutable last : Interp.result option;
+  mutable kills : int;        (* involuntary terminations so far *)
+  mutable quarantined : bool; (* demoted to the plain user path *)
 }
 
 (* Download-time handler cache entry: the verified + sandboxed program
@@ -69,6 +74,11 @@ type binding = {
   mutable user_handler : (addr:int -> len:int -> unit) option;
   mutable commit_hook : (unit -> unit) option;
   mutable auto_repost : bool;
+  (* Notifications posted to the application but not yet consumed. The
+     kernel refuses to queue more than [notify_queue_limit] of them per
+     VC: a slow or wedged application sheds load here instead of
+     growing an unbounded in-kernel queue. *)
+  mutable inflight_notify : int;
   (* Receive-livelock protection (§VI-4): at most [ash_budget] handler
      runs per clock tick; [None] = unlimited. *)
   mutable ash_budget : int option;
@@ -116,18 +126,27 @@ type t = {
      meter drains within one event (or closely spaced events) serialize
      behind each other instead of overlapping. *)
   mutable eth_pktbufs : int list;
+  (* Graceful-degradation knobs (create-time parameters, adjustable). *)
+  mutable quarantine_threshold : int;
+  mutable notify_queue_limit : int;
   (* stats *)
   mutable s_rx_delivered : int;
   mutable s_rx_dropped_unbound : int;
+  mutable s_rx_dropped_crc : int;
+  mutable s_rx_dropped_queue : int;
   mutable s_ash_committed : int;
   mutable s_ash_vol : int;
   mutable s_ash_invol : int;
+  mutable s_ash_quarantined : int;
   mutable s_upcalls : int;
   mutable s_user : int;
   mutable s_tx : int;
 }
 
-let create ?backend ?(demux = Demux_trie) engine costs ~name =
+let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
+    ?(notify_queue_limit = 256) engine costs ~name =
+  if quarantine_threshold < 1 then invalid_arg "Kernel.create: threshold";
+  if notify_queue_limit < 1 then invalid_arg "Kernel.create: queue limit";
   let backend =
     match backend with Some b -> b | None -> Exec.default ()
   in
@@ -160,11 +179,16 @@ let create ?backend ?(demux = Demux_trie) engine costs ~name =
     pending_tx = Queue.create ();
     horizon = 0;
     eth_pktbufs = [];
+    quarantine_threshold;
+    notify_queue_limit;
     s_rx_delivered = 0;
     s_rx_dropped_unbound = 0;
+    s_rx_dropped_crc = 0;
+    s_rx_dropped_queue = 0;
     s_ash_committed = 0;
     s_ash_vol = 0;
     s_ash_invol = 0;
+    s_ash_quarantined = 0;
     s_upcalls = 0;
     s_user = 0;
     s_tx = 0;
@@ -172,6 +196,18 @@ let create ?backend ?(demux = Demux_trie) engine costs ~name =
 
 let engine t = t.engine
 let machine t = t.machine
+
+let quarantine_threshold t = t.quarantine_threshold
+let notify_queue_limit t = t.notify_queue_limit
+
+let set_quarantine_threshold t n =
+  if n < 1 then invalid_arg "Kernel.set_quarantine_threshold";
+  t.quarantine_threshold <- n
+
+let set_notify_queue_limit t n =
+  if n < 1 then invalid_arg "Kernel.set_notify_queue_limit";
+  t.notify_queue_limit <- n
+
 let costs t = t.costs
 let name t = t.kname
 let exec_backend t = t.backend
@@ -270,7 +306,8 @@ let install_ash t ~sandbox ~hardwired ~allowed_calls ch =
   t.next_ash <- id + 1;
   Hashtbl.add t.ashes id
     { exec = ch.c_exec; sandboxed = sandbox; hardwired;
-      allowed = allowed_calls; sb_stats = ch.c_sb_stats; last = None };
+      allowed = allowed_calls; sb_stats = ch.c_sb_stats; last = None;
+      kills = 0; quarantined = false };
   id
 
 let emit_download ~id ~cache_hit ch =
@@ -349,6 +386,19 @@ let find_ash t id =
 let ash_sandbox_stats t id = (find_ash t id).sb_stats
 let ash_last_result t id = (find_ash t id).last
 let ash_prepared t id = (find_ash t id).exec
+let ash_quarantined t id = (find_ash t id).quarantined
+let ash_kill_count t id = (find_ash t id).kills
+
+(* Give a quarantined handler another chance (e.g. after the
+   application re-downloads a fixed program, or decides the kills were
+   environmental). *)
+let rearm_ash t id =
+  let ash = find_ash t id in
+  ash.kills <- 0;
+  if ash.quarantined then begin
+    ash.quarantined <- false;
+    if Trace.enabled () then Trace.emit (Trace.Ash_rearm { id })
+  end
 
 let register_dilp t compiled =
   let id = t.next_dilp in
@@ -399,8 +449,8 @@ let bind_vc t ~vc delivery =
    | None -> failwith "Kernel.bind_vc: no AN2 attached");
   Hashtbl.add t.bindings vc
     { bvc = vc; delivery; user_handler = None; commit_hook = None;
-      auto_repost = false; ash_budget = None; ash_tick_start = 0;
-      ash_ran_this_tick = 0; filter = None; prio = -1 }
+      auto_repost = false; inflight_notify = 0; ash_budget = None;
+      ash_tick_start = 0; ash_ran_this_tick = 0; filter = None; prio = -1 }
 
 let rebind_vc t ~vc delivery =
   match Hashtbl.find_opt t.bindings vc with
@@ -422,8 +472,9 @@ let bind_eth_filter t filter ~compiled delivery =
   in
   let b =
     { bvc = vc; delivery; user_handler = None; commit_hook = None;
-      auto_repost = false; ash_budget = None; ash_tick_start = 0;
-      ash_ran_this_tick = 0; filter = Some (filter, prog); prio }
+      auto_repost = false; inflight_notify = 0; ash_budget = None;
+      ash_tick_start = 0; ash_ran_this_tick = 0;
+      filter = Some (filter, prog); prio }
   in
   Hashtbl.add t.bindings vc b;
   t.eth_rev <- b :: t.eth_rev;
@@ -571,28 +622,45 @@ let wakeup_wait t =
         + c.Costs.context_switch_ns
     end
 
+let binding_nic b = if b.filter <> None then "eth" else "an2"
+
 let user_path t b ~addr ~len ~release =
-  t.s_user <- t.s_user + 1;
-  if Trace.enabled () then
-    Trace.emit (Trace.User_deliver { vc = b.bvc });
-  (* Capture the id: the application handler may initiate a reply,
-     which re-points the ambient id at the new message. *)
-  let corr = Trace.current_corr () in
-  if Trace.enabled () then
-    Span.begin_span ~corr ~off:(span_off t) Trace.Deliver;
-  let wait = wakeup_wait t in
-  let d = settle t in
-  ignore
-    (Engine.schedule t.engine ~delay:(d + wait) (fun () ->
-         charge_ns t
-           (t.costs.Costs.crossing_ns + t.costs.Costs.user_rx_overhead_ns);
-         (match b.user_handler with
-          | Some h -> h ~addr ~len
-          | None -> ());
-         release ();
-         ignore (settle t);
-         if Trace.enabled () then
-           Span.end_span ~corr ~off:(span_off t) Trace.Deliver))
+  if b.inflight_notify >= t.notify_queue_limit then begin
+    (* The application is not draining its notifications: shed the
+       message here, recycle the buffer, and let the protocols recover
+       end to end — an unbounded queue would only defer the failure. *)
+    t.s_rx_dropped_queue <- t.s_rx_dropped_queue + 1;
+    if Trace.enabled () then
+      Trace.emit (Trace.Pkt_drop { nic = binding_nic b;
+                                   reason = Trace.Queue_full });
+    release ();
+    ignore (settle t)
+  end
+  else begin
+    t.s_user <- t.s_user + 1;
+    b.inflight_notify <- b.inflight_notify + 1;
+    if Trace.enabled () then
+      Trace.emit (Trace.User_deliver { vc = b.bvc });
+    (* Capture the id: the application handler may initiate a reply,
+       which re-points the ambient id at the new message. *)
+    let corr = Trace.current_corr () in
+    if Trace.enabled () then
+      Span.begin_span ~corr ~off:(span_off t) Trace.Deliver;
+    let wait = wakeup_wait t in
+    let d = settle t in
+    ignore
+      (Engine.schedule t.engine ~delay:(d + wait) (fun () ->
+           b.inflight_notify <- b.inflight_notify - 1;
+           charge_ns t
+             (t.costs.Costs.crossing_ns + t.costs.Costs.user_rx_overhead_ns);
+           (match b.user_handler with
+            | Some h -> h ~addr ~len
+            | None -> ());
+           release ();
+           ignore (settle t);
+           if Trace.enabled () then
+             Span.end_span ~corr ~off:(span_off t) Trace.Deliver))
+  end
 
 (* Environment for a handler executing in the kernel (ASH). *)
 let ash_env t ~vc ~addr ~len ~allowed =
@@ -679,6 +747,16 @@ let run_handler_common t b ~id ~corr ~c0 ~addr ~len ~release ~env ~upcall
       Trace.emit
         (Trace.Ash_kill
            { id; reason = Format.asprintf "%a" Ash_vm.Isa.pp_violation v });
+    ash.kills <- ash.kills + 1;
+    if (not ash.quarantined) && ash.kills >= t.quarantine_threshold
+    then begin
+      (* Repeat offender: demote the handler. Messages keep flowing via
+         the plain user path until {!rearm_ash}. *)
+      ash.quarantined <- true;
+      t.s_ash_quarantined <- t.s_ash_quarantined + 1;
+      if Trace.enabled () then
+        Trace.emit (Trace.Ash_quarantine { id; kills = ash.kills })
+    end;
     user_path t b ~addr ~len ~release
 
 let ash_path t b id ~eth ~addr ~len ~release =
@@ -722,6 +800,10 @@ let upcall_path t b id ~eth ~addr ~len ~release =
 let dispatch t b ~eth ~addr ~len ~release =
   t.s_rx_delivered <- t.s_rx_delivered + 1;
   match b.delivery with
+  (* Quarantine wins before any budget bookkeeping: a demoted handler
+     must not run, and [ash_over_budget] has side effects. *)
+  | (Deliver_ash id | Deliver_upcall id) when (find_ash t id).quarantined ->
+    user_path t b ~addr ~len ~release
   | Deliver_ash id when not (ash_over_budget t b) ->
     ash_path t b id ~eth ~addr ~len ~release
   | Deliver_upcall id -> upcall_path t b id ~eth ~addr ~len ~release
@@ -749,9 +831,10 @@ let on_an2_rx t (rx : An2.rx) =
     if Trace.enabled () then
       Span.end_span ~corr ~off:(span_off t) Trace.Rx_dma;
     if not rx.An2.crc_ok then begin
-      (* Link-level corruption: the driver drops the frame and recycles
-         the buffer; protocols recover end to end. *)
-      t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+      (* Link-level corruption: the driver drops the frame at the rx
+         boundary — it never reaches demux or handler dispatch — and
+         recycles the buffer; protocols recover end to end. *)
+      t.s_rx_dropped_crc <- t.s_rx_dropped_crc + 1;
       kern_drop "an2" Trace.Crc;
       if b.auto_repost then
         post_receive_buffer t ~vc:rx.An2.vc ~addr:rx.An2.addr
@@ -814,9 +897,10 @@ let on_eth_rx t (rx : Ethernet.rx) =
     Span.begin_span ~corr ~off:(span_off t) Trace.Rx_dma;
   charge_ns t t.costs.Costs.kern_rx_ns;
   if not rx.Ethernet.crc_ok then begin
+    (* Corrupt frame: dropped before DPF demux ever sees it. *)
     Ethernet.release_buffer eth ~ring_addr:rx.Ethernet.ring_addr;
     end_rx_dma ();
-    t.s_rx_dropped_unbound <- t.s_rx_dropped_unbound + 1;
+    t.s_rx_dropped_crc <- t.s_rx_dropped_crc + 1;
     kern_drop "eth" Trace.Crc;
     ignore (settle t)
   end
@@ -878,9 +962,12 @@ let stats t =
   {
     rx_delivered = t.s_rx_delivered;
     rx_dropped_unbound = t.s_rx_dropped_unbound;
+    rx_dropped_crc = t.s_rx_dropped_crc;
+    rx_dropped_queue = t.s_rx_dropped_queue;
     ash_committed = t.s_ash_committed;
     ash_aborted_voluntary = t.s_ash_vol;
     ash_aborted_involuntary = t.s_ash_invol;
+    ash_quarantined = t.s_ash_quarantined;
     upcalls = t.s_upcalls;
     user_deliveries = t.s_user;
     tx_frames = t.s_tx;

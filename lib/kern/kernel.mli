@@ -24,7 +24,14 @@
 
     A handler that aborts (voluntarily or not) falls back to
     [Deliver_user], as the paper's TCP handler does when header
-    prediction fails. *)
+    prediction fails.
+
+    Graceful degradation under faults: frames whose link CRC fails are
+    dropped at the receive boundary (before demux or dispatch) with a
+    dedicated counter; per-VC user notifications are bounded, shedding
+    load with an accounted drop when the application stops draining
+    them; and a handler killed [quarantine_threshold] times is
+    quarantined — demoted to the plain user path — until {!rearm_ash}. *)
 
 type t
 
@@ -42,10 +49,13 @@ type app_state =
 
 type stats = {
   rx_delivered : int;
-  rx_dropped_unbound : int;
+  rx_dropped_unbound : int;   (** No binding / no DPF match. *)
+  rx_dropped_crc : int;       (** Link CRC failed; never demuxed. *)
+  rx_dropped_queue : int;     (** Notification queue at its bound. *)
   ash_committed : int;
   ash_aborted_voluntary : int;
   ash_aborted_involuntary : int;
+  ash_quarantined : int;      (** Quarantine demotions so far. *)
   upcalls : int;
   user_deliveries : int;
   tx_frames : int;
@@ -60,6 +70,8 @@ type demux =
 val create :
   ?backend:Ash_vm.Exec.backend ->
   ?demux:demux ->
+  ?quarantine_threshold:int ->
+  ?notify_queue_limit:int ->
   Ash_sim.Engine.t ->
   Ash_sim.Costs.t ->
   name:string ->
@@ -69,7 +81,18 @@ val create :
     Ethernet demultiplexing strategy (default [Demux_trie]). Both are
     host-side choices: simulated numbers are identical across backends,
     and across demux modes whenever filters don't overlap in cost-visible
-    ways (a lone filter charges identically under both). *)
+    ways (a lone filter charges identically under both).
+
+    [quarantine_threshold] (default 3, must be ≥ 1) is the number of
+    involuntary kills after which a handler is quarantined.
+    [notify_queue_limit] (default 256, ≥ 1) bounds outstanding
+    user-level notifications per VC. Both raise [Invalid_argument] on
+    non-positive values and can be adjusted later with the setters. *)
+
+val quarantine_threshold : t -> int
+val notify_queue_limit : t -> int
+val set_quarantine_threshold : t -> int -> unit
+val set_notify_queue_limit : t -> int -> unit
 
 val engine : t -> Ash_sim.Engine.t
 val machine : t -> Ash_sim.Machine.t
@@ -159,6 +182,15 @@ val ash_sandbox_stats : t -> ash_id -> Ash_vm.Sandbox.stats option
 val ash_last_result : t -> ash_id -> Ash_vm.Interp.result option
 (** Instrumentation: the most recent invocation's interpreter result
     (dynamic instruction counts, §V-B/§V-D). *)
+
+val ash_quarantined : t -> ash_id -> bool
+val ash_kill_count : t -> ash_id -> int
+(** Involuntary terminations since download (or the last re-arm). *)
+
+val rearm_ash : t -> ash_id -> unit
+(** Lift a quarantine and zero the kill count: the handler runs again
+    on the next matching message. Emits an [ash.rearm] trace event if
+    it was actually quarantined; a no-op re-arm is silent. *)
 
 (* -- Dynamic ILP -------------------------------------------------------- *)
 

@@ -32,7 +32,7 @@ type t = {
   vcs : (int, vc_state) Hashtbl.t;
   mutable rx_handler : rx -> unit;
   mutable peer : t option;
-  mutable tx_link : Link.t option; (* our transmit direction *)
+  mutable tx_link : Faulty_link.t option; (* our transmit direction *)
   mutable corrupt_next : bool;
   mutable tx_frames : int;
   mutable rx_frames : int;
@@ -62,10 +62,11 @@ let connect a b =
     invalid_arg "An2.connect: already connected";
   let costs = Machine.costs a.machine in
   let mk () =
-    Link.create a.engine
-      ~pkt_occupancy_ns:costs.Costs.an2_pkt_occupancy_ns
-      ~fixed_ns:costs.Costs.an2_hw_oneway_ns
-      ~ns_per_byte:costs.Costs.an2_ns_per_byte ()
+    Faulty_link.wrap ~nic:"an2"
+      (Link.create a.engine
+         ~pkt_occupancy_ns:costs.Costs.an2_pkt_occupancy_ns
+         ~fixed_ns:costs.Costs.an2_hw_oneway_ns
+         ~ns_per_byte:costs.Costs.an2_ns_per_byte ())
   in
   a.peer <- Some b;
   b.peer <- Some a;
@@ -146,11 +147,21 @@ let transmit t ~vc payload =
       Bytes.set frame (len / 2)
         (Char.chr (Char.code (Bytes.get frame (len / 2)) lxor 0x10))
     end;
-    Link.transmit link ~bytes:len (fun () ->
-        deliver peer ~vc ~payload:frame ~crc_sent)
+    Faulty_link.transmit link ~wire_bytes:len ~frame (fun payload ->
+        deliver peer ~vc ~payload ~crc_sent)
   | _ -> failwith "An2.transmit: not connected"
 
 let corrupt_next_frame t = t.corrupt_next <- true
+
+let set_fault_plan t plan =
+  match t.tx_link with
+  | Some link -> Faulty_link.set_plan link plan
+  | None -> invalid_arg "An2.set_fault_plan: not connected"
+
+let fault_plan t =
+  match t.tx_link with
+  | Some link -> Faulty_link.plan link
+  | None -> None
 
 let stats t =
   {

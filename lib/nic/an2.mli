@@ -66,4 +66,14 @@ val corrupt_next_frame : t -> unit
 (** Fault injection: flip a bit in the next transmitted frame so the
     peer's board reports a CRC error. *)
 
+val set_fault_plan : t -> Ash_sim.Fault.t option -> unit
+(** Install (or clear) a deterministic fault plan on this NIC's
+    transmit direction — per-direction, so an asymmetric network is two
+    plans. Raises [Invalid_argument] if not connected. Corrupted and
+    truncated frames surface at the peer as CRC errors, exactly like
+    {!corrupt_next_frame}'s damage; the board's payload CRC is the AN2's
+    payload-integrity check. *)
+
+val fault_plan : t -> Ash_sim.Fault.t option
+
 val stats : t -> stats

@@ -25,7 +25,7 @@ type t = {
   ring_slots : int list;               (* all slot base addresses *)
   mutable rx_handler : rx -> unit;
   mutable peer : t option;
-  mutable tx_link : Link.t option;
+  mutable tx_link : Faulty_link.t option;
   mutable corrupt_next : bool;
   mutable tx_frames : int;
   mutable rx_frames : int;
@@ -65,8 +65,9 @@ let connect a b =
     invalid_arg "Ethernet.connect: already connected";
   let costs = Machine.costs a.machine in
   let mk () =
-    Link.create a.engine ~fixed_ns:costs.Costs.eth_hw_oneway_ns
-      ~ns_per_byte:costs.Costs.eth_ns_per_byte ()
+    Faulty_link.wrap ~nic:"eth"
+      (Link.create a.engine ~fixed_ns:costs.Costs.eth_hw_oneway_ns
+         ~ns_per_byte:costs.Costs.eth_ns_per_byte ())
   in
   a.peer <- Some b;
   b.peer <- Some a;
@@ -125,8 +126,8 @@ let transmit t payload =
     (* Wire occupancy: preamble + header/CRC framing + padding to the
        64-byte minimum frame. *)
     let wire_bytes = max (len + 18) costs.Costs.eth_min_frame + 8 in
-    Link.transmit link ~bytes:wire_bytes (fun () ->
-        deliver peer ~payload:frame ~crc_sent)
+    Faulty_link.transmit link ~wire_bytes ~frame (fun payload ->
+        deliver peer ~payload ~crc_sent)
   | _ -> failwith "Ethernet.transmit: not connected"
 
 let release_buffer t ~ring_addr =
@@ -147,6 +148,16 @@ let destripe t rx ~dst =
   done
 
 let corrupt_next_frame t = t.corrupt_next <- true
+
+let set_fault_plan t plan =
+  match t.tx_link with
+  | Some link -> Faulty_link.set_plan link plan
+  | None -> invalid_arg "Ethernet.set_fault_plan: not connected"
+
+let fault_plan t =
+  match t.tx_link with
+  | Some link -> Faulty_link.plan link
+  | None -> None
 
 let stats t =
   {

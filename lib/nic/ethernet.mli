@@ -53,5 +53,13 @@ val destripe : t -> rx -> dst:int -> unit
     machine through the normal copy-cost model. *)
 
 val corrupt_next_frame : t -> unit
+
+val set_fault_plan : t -> Ash_sim.Fault.t option -> unit
+(** Install (or clear) a deterministic fault plan on this NIC's
+    transmit direction (see {!An2.set_fault_plan}). Raises
+    [Invalid_argument] if not connected. *)
+
+val fault_plan : t -> Ash_sim.Fault.t option
+
 val stats : t -> stats
 val outstanding_buffers : t -> int

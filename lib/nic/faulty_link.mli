@@ -1,0 +1,31 @@
+(** A {!Link} with an optional {!Ash_sim.Fault} plan on it.
+
+    Both NIC models transmit through this wrapper. With no plan
+    installed (the default) it is a pass-through. With a plan, each
+    frame is offered to the plan after the sender's CRC is computed:
+    dropped frames still occupy the wire but never deliver, corrupted
+    and truncated frames arrive damaged (the receiver's link CRC catches
+    them), duplicates deliver twice, and reordered/jittered frames
+    deliver late so later traffic overtakes them. Every injection emits
+    {!Ash_obs.Trace.kind.Fault_injected} under the ambient correlation
+    id, so faults land in the same causal chain as their victim. *)
+
+type t
+
+val wrap : Link.t -> nic:string -> t
+(** No plan installed; [nic] names the trace emission site. *)
+
+val set_plan : t -> Ash_sim.Fault.t option -> unit
+(** Install (or clear) the fault plan for this transmit direction. *)
+
+val plan : t -> Ash_sim.Fault.t option
+
+val transmit :
+  t -> wire_bytes:int -> frame:Bytes.t -> (Bytes.t -> unit) -> unit
+(** [transmit t ~wire_bytes ~frame deliver]: put [frame] on the wire
+    ([wire_bytes] is the occupancy charge, which may exceed the frame —
+    Ethernet framing); [deliver] receives the bytes that actually
+    arrive, possibly mutated, truncated, or twice. [frame] ownership
+    passes to the wrapper. *)
+
+val busy_until : t -> Ash_sim.Time.ns

@@ -13,7 +13,7 @@ type t = {
 let create engine ?(pkt_occupancy_ns = 0) ~fixed_ns ~ns_per_byte () =
   { engine; fixed_ns; pkt_occupancy_ns; ns_per_byte; free_at = 0 }
 
-let transmit t ~bytes deliver =
+let transmit t ?(extra_delay_ns = 0) ~bytes deliver =
   let now = Engine.now t.engine in
   let start = max now t.free_at in
   let wire =
@@ -30,7 +30,7 @@ let transmit t ~bytes deliver =
     Trace.emit (Trace.Wire_tx { bytes; busy_until = t.free_at });
     Span.begin_span ~corr Trace.Wire
   end;
-  let arrival = start + wire + t.fixed_ns in
+  let arrival = start + wire + t.fixed_ns + extra_delay_ns in
   ignore
     (Engine.schedule_at t.engine ~at:arrival (fun () ->
          if Trace.enabled () then Span.end_span ~corr Trace.Wire;

@@ -20,9 +20,11 @@ val create :
     [fixed_ns] is pipelined latency added after the frame leaves the
     wire. *)
 
-val transmit : t -> bytes:int -> (unit -> unit) -> unit
+val transmit : t -> ?extra_delay_ns:int -> bytes:int -> (unit -> unit) -> unit
 (** [transmit t ~bytes deliver] schedules [deliver] to run when the frame
-    has crossed the wire. *)
+    has crossed the wire. [extra_delay_ns] postpones delivery only — the
+    wire occupancy window is unchanged — so the fault layer can model
+    reordering and jitter without affecting link utilization. *)
 
 val busy_until : t -> Ash_sim.Time.ns
 (** When the wire frees up (for tests and utilization stats). *)

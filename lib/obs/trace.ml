@@ -9,6 +9,7 @@ type drop_reason =
   | No_pktbuf
   | Dpf_miss
   | Too_big
+  | Queue_full
 
 let drop_reason_label = function
   | Crc -> "crc"
@@ -18,6 +19,28 @@ let drop_reason_label = function
   | No_pktbuf -> "no-pktbuf"
   | Dpf_miss -> "dpf-miss"
   | Too_big -> "too-big"
+  | Queue_full -> "queue-full"
+
+(* Closed fault vocabulary for the deterministic injection layer
+   (Ash_sim.Fault): same rationale as [drop_reason]. *)
+type fault_kind =
+  | F_drop
+  | F_corrupt
+  | F_truncate
+  | F_duplicate
+  | F_reorder
+  | F_jitter
+
+let fault_kind_label = function
+  | F_drop -> "drop"
+  | F_corrupt -> "corrupt"
+  | F_truncate -> "truncate"
+  | F_duplicate -> "duplicate"
+  | F_reorder -> "reorder"
+  | F_jitter -> "jitter"
+
+let all_fault_kinds =
+  [ F_drop; F_corrupt; F_truncate; F_duplicate; F_reorder; F_jitter ]
 
 (* The causal stages one message passes through (the paper's Table 2/6
    decomposition). Every span event names one of these. *)
@@ -78,6 +101,9 @@ type kind =
       checks_elided : int;
       static_bound : int option;
     }
+  | Fault_injected of { nic : string; fault : fault_kind }
+  | Ash_quarantine of { id : int; kills : int }
+  | Ash_rearm of { id : int }
   | Span_begin of { corr : int; stage : stage; off : int }
   | Span_end of { corr : int; stage : stage; off : int; cycles : int }
   | Mark of string
@@ -193,6 +219,9 @@ let label = function
   | Tcp_fast_hit -> "tcp.fast.hit"
   | Tcp_fast_miss -> "tcp.fast.miss"
   | Ash_download _ -> "ash.download"
+  | Fault_injected _ -> "fault.injected"
+  | Ash_quarantine _ -> "ash.quarantine"
+  | Ash_rearm _ -> "ash.rearm"
   | Span_begin _ -> "span.begin"
   | Span_end _ -> "span.end"
   | Mark _ -> "mark"
@@ -233,6 +262,11 @@ let fields = function
       ("checks_elided", string_of_int checks_elided);
       ("static_bound",
        match static_bound with None -> "none" | Some b -> string_of_int b) ]
+  | Fault_injected { nic; fault } ->
+    [ ("nic", nic); ("fault", fault_kind_label fault) ]
+  | Ash_quarantine { id; kills } ->
+    [ ("id", string_of_int id); ("kills", string_of_int kills) ]
+  | Ash_rearm { id } -> [ ("id", string_of_int id) ]
   | Span_begin { corr; stage; off } ->
     [ ("corr", string_of_int corr); ("stage", stage_label stage);
       ("off", string_of_int off) ]
@@ -314,6 +348,24 @@ let account m =
   let cache_miss = c "ash.cache.miss" in
   let absint_elided = c "ash.absint.checks_elided" in
   let absint_bounded = c "ash.absint.static_bounded" in
+  let fault_injected = c "fault.injected" in
+  let fault_cell =
+    let drop = c "fault.drop" in
+    let corrupt = c "fault.corrupt" in
+    let truncate = c "fault.truncate" in
+    let duplicate = c "fault.duplicate" in
+    let reorder = c "fault.reorder" in
+    let jitter = c "fault.jitter" in
+    function
+    | F_drop -> drop
+    | F_corrupt -> corrupt
+    | F_truncate -> truncate
+    | F_duplicate -> duplicate
+    | F_reorder -> reorder
+    | F_jitter -> jitter
+  in
+  let quarantine = c "ash.quarantine" in
+  let rearm = c "ash.rearm" in
   let mark = c "mark" in
   let span_cell =
     let wire = c "span.wire" in
@@ -387,6 +439,11 @@ let account m =
       bump (if hit then cache_hit else cache_miss);
       absint_elided := !absint_elided + checks_elided;
       if static_bound <> None then bump absint_bounded
+    | Fault_injected { fault; _ } ->
+      bump fault_injected;
+      bump (fault_cell fault)
+    | Ash_quarantine _ -> bump quarantine
+    | Ash_rearm _ -> bump rearm
     | Span_begin _ -> ()
     | Span_end { stage; _ } -> bump (span_cell stage)
     | Mark _ -> bump mark

@@ -23,9 +23,26 @@ type drop_reason =
   | No_pktbuf  (** kernel packet-buffer pool exhausted *)
   | Dpf_miss  (** demux matched no filter *)
   | Too_big  (** frame exceeds the link MTU *)
+  | Queue_full  (** bounded kernel notification queue overflowed *)
 
 val drop_reason_label : drop_reason -> string
 (** Stable dashed label, e.g. ["no-pktbuf"]. *)
+
+(** What the deterministic fault-injection layer ({!Ash_sim.Fault} via
+    the NIC faulty-link wrappers) did to a frame. Closed for the same
+    reason as {!drop_reason}. *)
+type fault_kind =
+  | F_drop  (** lost mid-flight; the wire time is still consumed *)
+  | F_corrupt  (** one bit flipped; caught by the receiver's link CRC *)
+  | F_truncate  (** delivered short; caught by the link CRC *)
+  | F_duplicate  (** delivered twice *)
+  | F_reorder  (** delivery delayed so later frames overtake it *)
+  | F_jitter  (** delivery delayed without reordering intent *)
+
+val fault_kind_label : fault_kind -> string
+(** Stable label, e.g. ["truncate"]. *)
+
+val all_fault_kinds : fault_kind list
 
 (** The causal stages one message passes through — the paper's
     Table 2/6 decomposition. Every span event names one of these. *)
@@ -87,6 +104,13 @@ type kind =
       (** handler installed, noting whether PR 2's cache supplied it,
           how many sandbox checks download-time absint elided, and the
           static worst-case cycle bound when one was provable *)
+  | Fault_injected of { nic : string; fault : fault_kind }
+      (** the injection layer perturbed a frame on [nic]'s transmit
+          direction; the ambient correlation id names the victim *)
+  | Ash_quarantine of { id : int; kills : int }
+      (** handler demoted to the user path after [kills] involuntary
+          kills; it stays demoted until {!Ash_kern.Kernel.rearm_ash} *)
+  | Ash_rearm of { id : int }  (** quarantine cleared by the owner *)
   | Span_begin of { corr : int; stage : stage; off : int }
       (** stage span opened for message [corr]; the span clock is
           [event ts + off] (see {!Span}) *)

@@ -13,6 +13,14 @@ type mode = Library | Fast_ash of { sandbox : bool } | Fast_upcall
 
 type medium = Tcp_an2 of { vc : int } | Tcp_ethernet
 
+type rto_policy =
+  | Rto_fixed of int
+  | Rto_adaptive of { init_ns : int; min_ns : int; max_ns : int }
+
+let default_rto =
+  Rto_adaptive
+    { init_ns = 20_000_000; min_ns = 1_000_000; max_ns = 320_000_000 }
+
 type config = {
   medium : medium;
   local_ip : int;
@@ -26,6 +34,9 @@ type config = {
   mode : mode;
   rx_buffers : int;
   iss : int;
+  rto : rto_policy;
+  fast_retransmit : bool;
+  dup_ack_threshold : int;
 }
 
 let default_config =
@@ -42,6 +53,9 @@ let default_config =
     mode = Library;
     rx_buffers = 8;
     iss = 1000;
+    rto = default_rto;
+    fast_retransmit = true;
+    dup_ack_threshold = 3;
   }
 
 type stats = {
@@ -51,6 +65,11 @@ type stats = {
   fast_path_acks : int;
   fast_path_aborts : int;
   retransmits : int;
+  timeout_retransmits : int;
+  fast_retransmits : int;
+  dup_acks_received : int;
+  spurious_timeouts : int;
+  out_of_order : int;
   bad_checksums : int;
 }
 
@@ -60,6 +79,17 @@ type write_op = {
   mutable sent : int;
   end_seq : int;
   on_complete : unit -> unit;
+}
+
+(* An outstanding (unacknowledged) segment. [sent_at] is the time of
+   the most recent transmission; [rexmitted] implements Karn's rule:
+   once a segment has been resent, an ack for it is ambiguous and must
+   not produce an RTT sample. *)
+type seg = {
+  end_seq : int;
+  frame : Bytes.t;
+  mutable sent_at : int;
+  mutable rexmitted : bool;
 }
 
 type t = {
@@ -74,8 +104,18 @@ type t = {
   snd_buf : Memory.region;   (* per-segment staging for the data copy *)
   staging : Memory.region;   (* for write_string *)
   mutable pending_write : write_op option;
-  mutable unacked : (int * Bytes.t) list; (* (end_seq, frame) *)
+  mutable unacked : seg list; (* newest first *)
   mutable rt_timer : Engine.event_id option;
+  (* Jacobson/Karn retransmission state (all ns; srtt < 0 = no sample
+     yet). [rto_cur] is the smoothed estimate before backoff; the
+     effective timeout is [current_rto]. *)
+  mutable srtt : int;
+  mutable rttvar : int;
+  mutable rto_cur : int;
+  mutable backoff : int;
+  mutable min_rtt : int; (* max_int until the first sample *)
+  mutable dup_acks : int; (* consecutive, since the last fresh ack *)
+  mutable rto_last : (int * int) option; (* (fired_at, snd_una then) *)
   mutable reader : (addr:int -> len:int -> unit) option;
   mutable on_connected : (unit -> unit) option;
   mutable on_closed : (unit -> unit) option;
@@ -86,12 +126,21 @@ type t = {
   mutable s_tx : int;
   mutable s_rx : int;
   mutable s_rexmit : int;
+  mutable s_rexmit_to : int;
+  mutable s_fast_rexmit : int;
+  mutable s_dup_acks : int;
+  mutable s_spurious : int;
+  mutable s_ooo : int;
   mutable s_bad_cksum : int;
 }
 
 let headers_len = Packet.ip_header_len + Packet.tcp_header_len
-let rto_ns = 20_000_000 (* 20 ms: crude timeout-only retransmission *)
 let ack_send_overhead_ns = 7_000
+
+(* RTO floor on the variance term: with a near-constant simulated RTT
+   the variance collapses, and srtt alone would time out on the first
+   queueing delay. *)
+let rtt_granularity_ns = 100_000
 
 let mem t = Machine.mem (Kernel.machine t.kernel)
 let machine t = Kernel.machine t.kernel
@@ -178,6 +227,47 @@ let xmit t frame =
   | Tcp_an2 { vc } -> Kernel.user_send t.kernel ~vc frame
   | Tcp_ethernet -> Kernel.eth_user_send t.kernel frame
 
+let now_ns t = Engine.now (Kernel.engine t.kernel)
+
+(* The effective retransmission timeout. Under the fixed policy this is
+   the historical crude constant — no backoff, no adaptation — kept as
+   the measurable baseline (ashbench chaos compares the two). *)
+let current_rto t =
+  match t.cfg.rto with
+  | Rto_fixed ns -> ns
+  | Rto_adaptive { min_ns; max_ns; _ } ->
+    let backed = t.rto_cur lsl min t.backoff 16 in
+    min max_ns (max min_ns backed)
+
+(* Jacobson's estimator (RFC 6298 gains): SRTT <- 7/8 SRTT + 1/8 R,
+   RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R|. *)
+let rtt_sample t sample =
+  if sample >= 0 then begin
+    if t.srtt < 0 then begin
+      t.srtt <- sample;
+      t.rttvar <- sample / 2
+    end
+    else begin
+      t.rttvar <- ((3 * t.rttvar) + abs (t.srtt - sample)) / 4;
+      t.srtt <- ((7 * t.srtt) + sample) / 8
+    end;
+    if sample < t.min_rtt then t.min_rtt <- sample;
+    t.rto_cur <- t.srtt + max rtt_granularity_ns (4 * t.rttvar)
+  end
+
+(* Go-back-N: resend everything outstanding, marking each segment
+   retransmitted so Karn's rule suppresses its RTT sample. *)
+let resend_outstanding t =
+  let now = now_ns t in
+  List.iter
+    (fun seg ->
+       seg.rexmitted <- true;
+       seg.sent_at <- now;
+       t.s_rexmit <- t.s_rexmit + 1;
+       Kernel.app_compute t.kernel Protocost.tcp_send_overhead_ns;
+       xmit t (Bytes.copy seg.frame))
+    (List.rev t.unacked)
+
 let rec arm_rt_timer t =
   match t.rt_timer with
   | Some _ -> ()
@@ -186,17 +276,16 @@ let rec arm_rt_timer t =
       Some
         (Engine.schedule
            (Kernel.engine t.kernel)
-           ~delay:rto_ns
+           ~delay:(current_rto t)
            (fun () ->
               t.rt_timer <- None;
               if t.unacked <> [] then begin
-                (* Go-back-N: resend everything outstanding. *)
-                List.iter
-                  (fun (_, frame) ->
-                     t.s_rexmit <- t.s_rexmit + 1;
-                     Kernel.app_compute t.kernel Protocost.tcp_send_overhead_ns;
-                     xmit t (Bytes.copy frame))
-                  (List.rev t.unacked);
+                t.s_rexmit_to <- t.s_rexmit_to + 1;
+                t.rto_last <- Some (now_ns t, tcb_get t Tcb.off_snd_una);
+                (* Exponential backoff until a fresh ack arrives (only
+                   the adaptive policy consults it). *)
+                t.backoff <- t.backoff + 1;
+                resend_outstanding t;
                 arm_rt_timer t
               end))
 
@@ -206,6 +295,21 @@ let cancel_rt_timer t =
     Engine.cancel (Kernel.engine t.kernel) id;
     t.rt_timer <- None
   | None -> ()
+
+(* Restart the timer for the (possibly changed) outstanding window. *)
+let restart_rt_timer t =
+  cancel_rt_timer t;
+  if t.unacked <> [] then arm_rt_timer t
+
+(* Three duplicate acks mean the peer keeps receiving segments beyond a
+   hole: retransmit without waiting for the timer (§IV-D calls the
+   library's lack of this out; the adaptive stack adds it). The library
+   has no reassembly queue on the receive side, so the whole window is
+   resent (go-back-N), not just the first segment. *)
+let fast_retransmit t =
+  t.s_fast_rexmit <- t.s_fast_rexmit + 1;
+  resend_outstanding t;
+  restart_rt_timer t
 
 let send_pure_ack t =
   Kernel.app_compute t.kernel ack_send_overhead_ns;
@@ -226,7 +330,9 @@ let send_data_segment t ~src ~len =
       ~payload:(Some (src, len))
   in
   tcb_set t Tcb.off_snd_nxt (seq + len);
-  t.unacked <- (seq + len, frame) :: t.unacked;
+  t.unacked <-
+    { end_seq = seq + len; frame; sent_at = now_ns t; rexmitted = false }
+    :: t.unacked;
   t.sent_during_delivery <- true;
   arm_rt_timer t;
   xmit t (Bytes.copy frame)
@@ -253,7 +359,7 @@ let rec pump t =
 
 let check_acks t =
   let una = tcb_get t Tcb.off_snd_una in
-  t.unacked <- List.filter (fun (end_seq, _) -> end_seq > una) t.unacked;
+  t.unacked <- List.filter (fun seg -> seg.end_seq > una) t.unacked;
   if t.unacked = [] then cancel_rt_timer t;
   match t.pending_write with
   | Some w when w.sent = w.src_len && una >= w.end_seq ->
@@ -308,14 +414,56 @@ let parse_segment t ~addr ~len =
       end
   end
 
-let process_ack t (tcp : Packet.Tcp.t) =
+let process_ack t (tcp : Packet.Tcp.t) ~plen =
   if tcp.Packet.Tcp.flags.Packet.Tcp.ack then begin
     let snd_nxt = tcb_get t Tcb.off_snd_nxt in
     let snd_una = tcb_get t Tcb.off_snd_una in
     let a = tcp.Packet.Tcp.ack in
     if a > snd_una && a <= snd_nxt then begin
+      let now = now_ns t in
+      (* Karn's rule: only a never-retransmitted segment covered by
+         this ack yields an RTT sample (the newest such one). *)
+      let sample =
+        List.fold_left
+          (fun acc seg ->
+             if seg.end_seq <= a && not seg.rexmitted then
+               match acc with
+               | Some best when best >= seg.sent_at -> acc
+               | _ -> Some seg.sent_at
+             else acc)
+          None t.unacked
+      in
+      (match sample with
+       | Some sent -> rtt_sample t (now - sent)
+       | None -> ());
+      (* Spurious-timeout heuristic: progress arriving sooner after an
+         RTO firing than the fastest round trip ever observed must have
+         been triggered by the original transmission, not the resend. *)
+      (match t.rto_last with
+       | Some (fired_at, una_then) when a > una_then ->
+         if t.min_rtt < max_int && now - fired_at < t.min_rtt then
+           t.s_spurious <- t.s_spurious + 1;
+         t.rto_last <- None
+       | _ -> ());
+      (* Fresh ack: collapse the backoff and the dup-ack run, restart
+         the timer for what is still outstanding (RFC 6298 5.3). *)
+      t.backoff <- 0;
+      t.dup_acks <- 0;
       tcb_set t Tcb.off_snd_una a;
-      check_acks t
+      cancel_rt_timer t;
+      check_acks t;
+      if t.unacked <> [] then arm_rt_timer t
+    end
+    else if
+      a = snd_una && plen = 0 && t.unacked <> []
+      && state t = Tcb.st_established
+    then begin
+      (* A pure ack that moves nothing while data is outstanding: the
+         receiver is telling us it got something out of order. *)
+      t.s_dup_acks <- t.s_dup_acks + 1;
+      t.dup_acks <- t.dup_acks + 1;
+      if t.cfg.fast_retransmit && t.dup_acks = t.cfg.dup_ack_threshold then
+        fast_retransmit t
     end
   end
 
@@ -337,7 +485,7 @@ let verify_payload_cksum t (tcp : Packet.Tcp.t) ~payload_addr ~plen =
 
 let handle_established t (tcp : Packet.Tcp.t) ~addr ~plen =
   let flags = tcp.Packet.Tcp.flags in
-  process_ack t tcp;
+  process_ack t tcp ~plen;
   let rcv_nxt = tcb_get t Tcb.off_rcv_nxt in
   if plen > 0 then begin
     if tcp.Packet.Tcp.seq = rcv_nxt then begin
@@ -373,8 +521,14 @@ let handle_established t (tcp : Packet.Tcp.t) ~addr ~plen =
       (* Old duplicate (e.g. a retransmission that crossed our ack):
          re-acknowledge. *)
       send_pure_ack t
-    (* else: out of order — dropped; the peer's timeout resends
-       (no fast retransmit, §IV-D). *)
+    else begin
+      (* Out of order: there is no reassembly queue (§IV-D), so the
+         segment is dropped — but a duplicate ack for rcv_nxt tells the
+         peer about the hole so it can fast-retransmit instead of
+         waiting out its timer. *)
+      t.s_ooo <- t.s_ooo + 1;
+      send_pure_ack t
+    end
   end;
   if flags.Packet.Tcp.fin && tcp.Packet.Tcp.seq + plen = tcb_get t Tcb.off_rcv_nxt
   then begin
@@ -386,7 +540,7 @@ let handle_established t (tcp : Packet.Tcp.t) ~addr ~plen =
 let handle_closing t (tcp : Packet.Tcp.t) ~plen =
   let flags = tcp.Packet.Tcp.flags in
   let st = state t in
-  process_ack t tcp;
+  process_ack t tcp ~plen;
   let our_fin_acked =
     flags.Packet.Tcp.ack && tcp.Packet.Tcp.ack = tcb_get t Tcb.off_snd_nxt
   in
@@ -476,7 +630,10 @@ let on_segment_body t ~addr ~len =
                ~payload:None
            in
            tcb_set t Tcb.off_snd_nxt (t.cfg.iss + 1);
-           t.unacked <- (t.cfg.iss + 1, frame) :: t.unacked;
+           t.unacked <-
+             { end_seq = t.cfg.iss + 1; frame; sent_at = now_ns t;
+               rexmitted = false }
+             :: t.unacked;
            arm_rt_timer t;
            xmit t (Bytes.copy frame)
          end
@@ -537,6 +694,16 @@ let create kernel cfg =
       pending_write = None;
       unacked = [];
       rt_timer = None;
+      srtt = -1;
+      rttvar = 0;
+      rto_cur =
+        (match cfg.rto with
+         | Rto_fixed ns -> ns
+         | Rto_adaptive { init_ns; _ } -> init_ns);
+      backoff = 0;
+      min_rtt = max_int;
+      dup_acks = 0;
+      rto_last = None;
       reader = None;
       on_connected = None;
       on_closed = None;
@@ -546,6 +713,11 @@ let create kernel cfg =
       s_tx = 0;
       s_rx = 0;
       s_rexmit = 0;
+      s_rexmit_to = 0;
+      s_fast_rexmit = 0;
+      s_dup_acks = 0;
+      s_spurious = 0;
+      s_ooo = 0;
       s_bad_cksum = 0;
     }
   in
@@ -673,7 +845,9 @@ let connect t ~on_connected =
       ~payload:None
   in
   tcb_set t Tcb.off_snd_nxt (t.cfg.iss + 1);
-  t.unacked <- (t.cfg.iss + 1, frame) :: t.unacked;
+  t.unacked <-
+    { end_seq = t.cfg.iss + 1; frame; sent_at = now_ns t; rexmitted = false }
+    :: t.unacked;
   arm_rt_timer t;
   xmit t (Bytes.copy frame)
 
@@ -714,7 +888,9 @@ let close t ~on_closed =
       ~payload:None
   in
   tcb_set t Tcb.off_snd_nxt (seq + 1);
-  t.unacked <- (seq + 1, frame) :: t.unacked;
+  t.unacked <-
+    { end_seq = seq + 1; frame; sent_at = now_ns t; rexmitted = false }
+    :: t.unacked;
   arm_rt_timer t;
   set_state t
     (if st = Tcb.st_established then Tcb.st_fin_wait_1 else Tcb.st_last_ack);
@@ -731,5 +907,16 @@ let stats t =
     fast_path_acks = tcb_get t Tcb.off_fast_acks;
     fast_path_aborts = ks.Kernel.ash_aborted_voluntary;
     retransmits = t.s_rexmit;
+    timeout_retransmits = t.s_rexmit_to;
+    fast_retransmits = t.s_fast_rexmit;
+    dup_acks_received = t.s_dup_acks;
+    spurious_timeouts = t.s_spurious;
+    out_of_order = t.s_ooo;
     bad_checksums = t.s_bad_cksum;
   }
+
+let current_rto_ns = current_rto
+
+let srtt_ns t = if t.srtt < 0 then None else Some t.srtt
+
+let rt_timer_armed t = t.rt_timer <> None

@@ -34,6 +34,21 @@ type medium =
   | Tcp_an2 of { vc : int }  (** VC demux; ports checked in software. *)
   | Tcp_ethernet             (** Compiled DPF filter on proto + ports. *)
 
+(** Retransmission-timeout policy. *)
+type rto_policy =
+  | Rto_fixed of int
+      (** The historical crude behavior: a constant timeout, no
+          backoff, no adaptation — kept as the measurable baseline. *)
+  | Rto_adaptive of { init_ns : int; min_ns : int; max_ns : int }
+      (** Jacobson SRTT/RTTVAR estimation with Karn's rule and
+          exponential backoff; the effective RTO is clamped to
+          [min_ns, max_ns] and starts at [init_ns] before the first
+          sample. *)
+
+val default_rto : rto_policy
+(** Adaptive: init 20 ms (the old fixed constant), floor 1 ms,
+    ceiling 320 ms. *)
+
 type config = {
   medium : medium;
   local_ip : int;
@@ -47,6 +62,11 @@ type config = {
   mode : mode;
   rx_buffers : int;
   iss : int;            (** Initial send sequence number. *)
+  rto : rto_policy;
+  fast_retransmit : bool;
+      (** Retransmit after [dup_ack_threshold] duplicate acks instead
+          of waiting for the timer. *)
+  dup_ack_threshold : int;  (** Classically 3. *)
 }
 
 val default_config : config
@@ -62,7 +82,14 @@ type stats = {
   fast_path_data : int;        (** Data segments the handler consumed. *)
   fast_path_acks : int;        (** Pure acks the handler consumed. *)
   fast_path_aborts : int;      (** Handler fell back to the library. *)
-  retransmits : int;
+  retransmits : int;           (** Segments resent (any trigger). *)
+  timeout_retransmits : int;   (** Retransmission-timer firings. *)
+  fast_retransmits : int;      (** Dup-ack-triggered go-back-N resends. *)
+  dup_acks_received : int;     (** Pure acks that moved nothing. *)
+  spurious_timeouts : int;
+      (** RTO firings later contradicted by an ack that arrived sooner
+          after the resend than the fastest observed round trip. *)
+  out_of_order : int;          (** Segments past rcv_nxt (dup-acked). *)
   bad_checksums : int;
 }
 
@@ -97,6 +124,18 @@ val close : t -> on_closed:(unit -> unit) -> unit
 
 val state_name : t -> string
 val stats : t -> stats
+
+val current_rto_ns : t -> int
+(** The effective retransmission timeout right now (backoff applied,
+    clamped). Constant under [Rto_fixed]. *)
+
+val srtt_ns : t -> int option
+(** The smoothed round-trip estimate ([None] before the first valid
+    sample — Karn's rule can delay it indefinitely under heavy loss). *)
+
+val rt_timer_armed : t -> bool
+(** Whether the retransmission timer is pending (unit tests for the
+    arm/cancel/re-arm lifecycle). *)
 
 val rcv_buffer_region : t -> Ash_sim.Memory.region
 (** The connection's receive buffer, exposed for instrumentation and

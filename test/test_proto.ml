@@ -12,6 +12,7 @@ module Packet = Ash_proto.Packet
 module Udp = Ash_proto.Udp
 module Tcp = Ash_proto.Tcp
 module An2 = Ash_nic.An2
+module Fault = Ash_sim.Fault
 module Rng = Ash_util.Rng
 module Bytesx = Ash_util.Bytesx
 
@@ -312,6 +313,107 @@ let test_tcp_retransmission_recovers_loss () =
     (Buffer.contents buf);
   Alcotest.(check bool) "a retransmission happened" true
     ((Tcp.stats c).Tcp.retransmits >= 1)
+
+let test_tcp_rt_timer_lifecycle () =
+  let tb = TB.create () in
+  let c, s = Lab.tcp_pair ~mode:Tcp.Library ~checksum:false ~in_place:false tb in
+  Tcp.set_reader s (fun ~addr:_ ~len:_ -> ());
+  Alcotest.(check bool) "idle: timer off" false (Tcp.rt_timer_armed c);
+  Alcotest.(check int) "initial rto is the policy's init" 20_000_000
+    (Tcp.current_rto_ns c);
+  Tcp.write_string c "armed?" ~on_complete:(fun () -> ());
+  Alcotest.(check bool) "in flight: timer armed" true (Tcp.rt_timer_armed c);
+  TB.run tb;
+  Alcotest.(check bool) "acked: timer cancelled" false (Tcp.rt_timer_armed c);
+  (* A valid round-trip sample arrived, so the estimator is live and the
+     adaptive RTO has collapsed far below the 20 ms bootstrap value. *)
+  Alcotest.(check bool) "srtt sampled" true (Tcp.srtt_ns c <> None);
+  Alcotest.(check bool) "rto adapted downwards" true
+    (Tcp.current_rto_ns c < 20_000_000);
+  (* Re-arm on the next write. *)
+  Tcp.write_string c "again" ~on_complete:(fun () -> ());
+  Alcotest.(check bool) "re-armed" true (Tcp.rt_timer_armed c);
+  TB.run tb;
+  Alcotest.(check bool) "cancelled again" false (Tcp.rt_timer_armed c)
+
+let test_tcp_retransmit_stats () =
+  let tb = TB.create () in
+  let c, s = Lab.tcp_pair ~mode:Tcp.Library ~checksum:true ~in_place:false tb in
+  Tcp.set_reader s (fun ~addr:_ ~len:_ -> ());
+  (* Warm the estimator, then lose one frame: recovery must come from
+     the retransmission timer (nothing in flight behind it to trigger
+     dup acks), and the fresh ack must reset the backoff. *)
+  Tcp.write_string c "warmup" ~on_complete:(fun () -> ());
+  TB.run tb;
+  let rto_before = Tcp.current_rto_ns c in
+  An2.corrupt_next_frame tb.TB.client.TB.an2;
+  let completed = ref false in
+  Tcp.write_string c "lost once" ~on_complete:(fun () -> completed := true);
+  TB.run tb;
+  Alcotest.(check bool) "completed" true !completed;
+  let st = Tcp.stats c in
+  Alcotest.(check bool) "timer fired" true (st.Tcp.timeout_retransmits >= 1);
+  Alcotest.(check bool) "retransmit counted" true (st.Tcp.retransmits >= 1);
+  Alcotest.(check int) "no fast retransmit (nothing behind the loss)" 0
+    st.Tcp.fast_retransmits;
+  Alcotest.(check bool) "backoff reset by the fresh ack" true
+    (Tcp.current_rto_ns c <= 2 * rto_before)
+
+let test_tcp_fast_retransmit_on_dup_acks () =
+  (* Small MSS so a windowful is many segments: losing the first segment
+     lets the rest arrive out of order, producing dup acks at the sender
+     and firing the fast retransmit well before the 20 ms bootstrap
+     timer could. *)
+  let tb = TB.create () in
+  let c, s =
+    Lab.tcp_pair ~mode:Tcp.Library ~checksum:true ~in_place:false ~mss:1024 tb
+  in
+  let buf = Buffer.create 16384 in
+  Tcp.set_reader s (fun ~addr ~len ->
+      Buffer.add_string buf (read_mem tb `S ~addr ~len));
+  let payload = TB.alloc_filled tb.TB.client ~seed:5 16384 in
+  let expected = read_mem tb `C ~addr:payload.Memory.base ~len:16384 in
+  An2.corrupt_next_frame tb.TB.client.TB.an2;
+  let completed = ref false in
+  Tcp.write c ~addr:payload.Memory.base ~len:16384 ~on_complete:(fun () ->
+      completed := true);
+  TB.run tb;
+  Alcotest.(check bool) "completed" true !completed;
+  Alcotest.(check string) "in order, intact" expected (Buffer.contents buf);
+  let cs = Tcp.stats c and ss = Tcp.stats s in
+  Alcotest.(check bool) "receiver saw out-of-order segments" true
+    (ss.Tcp.out_of_order >= 3);
+  Alcotest.(check bool) "dup acks counted" true (cs.Tcp.dup_acks_received >= 3);
+  Alcotest.(check bool) "fast retransmit fired" true
+    (cs.Tcp.fast_retransmits >= 1);
+  Alcotest.(check int) "timer never fired" 0 cs.Tcp.timeout_retransmits
+
+let test_tcp_ooo_under_reorder_faults () =
+  (* A seeded reorder plan delays frames past their successors: the
+     receiver's out-of-order branch must dup-ack and the transfer must
+     still deliver every byte in order. *)
+  let tb = TB.create () in
+  let c, s =
+    Lab.tcp_pair ~mode:Tcp.Library ~checksum:true ~in_place:false ~mss:1024 tb
+  in
+  An2.set_fault_plan tb.TB.client.TB.an2
+    (Some
+       (Fault.create
+          { Fault.none with Fault.seed = 11; reorder = 0.3;
+            reorder_delay_ns = 300_000 }));
+  let buf = Buffer.create 32768 in
+  Tcp.set_reader s (fun ~addr ~len ->
+      Buffer.add_string buf (read_mem tb `S ~addr ~len));
+  let payload = TB.alloc_filled tb.TB.client ~seed:6 32768 in
+  let expected = read_mem tb `C ~addr:payload.Memory.base ~len:32768 in
+  let completed = ref false in
+  Tcp.write c ~addr:payload.Memory.base ~len:32768 ~on_complete:(fun () ->
+      completed := true);
+  TB.run tb;
+  Alcotest.(check bool) "completed" true !completed;
+  Alcotest.(check string) "in order, intact" expected (Buffer.contents buf);
+  Alcotest.(check bool) "out-of-order branch exercised" true
+    ((Tcp.stats s).Tcp.out_of_order > 0)
 
 let test_tcp_close_sequence () =
   let tb = TB.create () in
@@ -740,6 +842,13 @@ let () =
           Alcotest.test_case "window" `Quick test_tcp_window_respected;
           Alcotest.test_case "retransmission" `Quick
             test_tcp_retransmission_recovers_loss;
+          Alcotest.test_case "rt timer lifecycle" `Quick
+            test_tcp_rt_timer_lifecycle;
+          Alcotest.test_case "retransmit stats" `Quick test_tcp_retransmit_stats;
+          Alcotest.test_case "fast retransmit" `Quick
+            test_tcp_fast_retransmit_on_dup_acks;
+          Alcotest.test_case "ooo under reorder" `Quick
+            test_tcp_ooo_under_reorder_faults;
           Alcotest.test_case "close" `Quick test_tcp_close_sequence;
           Alcotest.test_case "write preconditions" `Quick
             test_tcp_write_preconditions;
