@@ -36,6 +36,7 @@ let experiments : (string * (unit -> Report.table)) list =
     ("striped", Core.Exp_ablate.striped);
     ("absint", Core.Exp_ablate.absint);
     ("chaos", fun () -> Core.Exp_chaos.chaos ());
+    ("exp_scale", Core.Exp_scale.scale);
   ]
 
 (* -- Bechamel: host-side cost of each experiment's simulation kernel -- *)
@@ -82,6 +83,14 @@ let staged_kernels : (string * (unit -> unit)) list =
       fun () -> ignore (Core.Exp_ilp.dilp_n_pipes 4 ()) );
     ( "striped.one_pass",
       fun () -> ignore (Core.Exp_ablate.striped_one_pass ~len:1440 ()) );
+    ( "exp_scale.churn8",
+      fun () ->
+        ignore
+          (Core.Exp_scale.run_churn
+             { Core.Exp_scale.default_spec with
+               connections = 8;
+               client_hosts = 4;
+               rounds = 2 }) );
   ]
 
 let bechamel_tests =

@@ -31,6 +31,8 @@ let experiments : (string * string * (unit -> Report.table)) list =
      Core.Exp_ablate.absint);
     ("chaos", "TCP goodput vs seeded loss (fixed vs adaptive RTO)",
      fun () -> Core.Exp_chaos.chaos ());
+    ("exp_scale", "connection churn over the many-host switched fabric",
+     Core.Exp_scale.scale);
   ]
 
 let handlers : (string * (unit -> Program.t)) list =

@@ -1,0 +1,162 @@
+module Engine = Ash_sim.Engine
+module Machine = Ash_sim.Machine
+module Memory = Ash_sim.Memory
+module Costs = Ash_sim.Costs
+module Kernel = Ash_kern.Kernel
+module Ethernet = Ash_nic.Ethernet
+module Switch = Ash_nic.Switch
+module Arp = Ash_proto.Arp
+module Tcp = Ash_proto.Tcp
+module Udp = Ash_proto.Udp
+module Packet = Ash_proto.Packet
+module Bytesx = Ash_util.Bytesx
+
+type node = {
+  idx : int;
+  ip : int;
+  mac : int;
+  kernel : Kernel.t;
+  eth : Ethernet.t;
+  arp : Arp.t;
+}
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  switch : Switch.t;
+  nodes : node array;
+}
+
+let ip_of_index i = 0x0a00_0000 lor (i + 1)
+let mac_of_index i = 0x0200_0000_0000 lor (i + 1)
+
+(* Destination-station hook, consulted per transmitted frame: IPv4
+   frames route by the destination address through the node's ARP
+   cache; ARP replies unicast back to the requester whose station
+   address is right there in the packet; everything else (notably ARP
+   requests) broadcasts. An IPv4 destination the cache cannot resolve
+   also goes out as broadcast — harmless before the ARP warm-up, exact
+   afterwards. *)
+let route arp frame =
+  let len = Bytes.length frame in
+  if len >= Packet.ip_header_len && Bytesx.get_u8 frame 0 = 0x45 then
+    Arp.lookup arp ~ip:(Bytesx.get_u32 frame 16)
+  else
+    match Arp.Wire.read frame with
+    | Ok p when p.Arp.Wire.op = Arp.Wire.op_reply ->
+      Some p.Arp.Wire.target_mac
+    | _ -> None
+
+let create ?(costs = Costs.decstation) ?(queue_limit = 16)
+    ?notify_queue_limit ~hosts () =
+  if hosts < 2 then invalid_arg "Fabric.create: need at least two hosts";
+  let engine = Engine.create () in
+  let switch = Switch.create engine ~queue_limit ~costs ~ports:hosts () in
+  let nodes =
+    Array.init hosts (fun i ->
+        let kernel =
+          Kernel.create ?notify_queue_limit engine costs
+            ~name:(Printf.sprintf "host%d" i)
+        in
+        let eth = Ethernet.create engine (Kernel.machine kernel) in
+        Kernel.attach_ethernet kernel eth;
+        Ethernet.set_mac eth (mac_of_index i);
+        Switch.attach switch ~port:i eth;
+        let arp = Arp.create kernel ~my_ip:(ip_of_index i) ~my_mac:(mac_of_index i) in
+        Ethernet.set_route eth (route arp);
+        { idx = i; ip = ip_of_index i; mac = mac_of_index i; kernel; eth; arp })
+  in
+  { engine; costs; switch; nodes }
+
+let hosts t = Array.length t.nodes
+let host t i = t.nodes.(i)
+let engine t = t.engine
+let switch t = t.switch
+
+let run t = Engine.run t.engine
+let run_for t d = Engine.run_until t.engine (Engine.now t.engine + d)
+let now_us t = Ash_sim.Time.us_of_ns (Engine.now t.engine)
+
+let alloc n ?(name = "app") len =
+  Memory.alloc (Machine.mem (Kernel.machine n.kernel)) ~name len
+
+let alloc_filled n ?(name = "payload") ~seed len =
+  let r = alloc n ~name len in
+  let payload = Bytes.create len in
+  Ash_util.Rng.fill_bytes (Ash_util.Rng.create seed) payload;
+  Memory.blit_from_bytes
+    (Machine.mem (Kernel.machine n.kernel))
+    ~src:payload ~src_off:0 ~dst:r.Memory.base ~len;
+  r
+
+(* Pre-resolve the server's station address from every other host, one
+   host per virtual millisecond so the request broadcasts don't pile up
+   on the finite egress queues. The broadcasts teach the server (and
+   the switch) every client's address in the same sweep, so a warmed
+   fabric runs all-unicast. *)
+let warm_arp t ~server =
+  let ip = t.nodes.(server).ip in
+  Array.iter
+    (fun n ->
+       if n.idx <> server then
+         ignore
+           (Engine.schedule t.engine
+              ~delay:(n.idx * 1_000_000)
+              (fun () -> Arp.resolve n.arp ~ip (fun _ -> ()))))
+    t.nodes;
+  Engine.run t.engine;
+  Array.iter
+    (fun n ->
+       if n.idx <> server && Arp.lookup n.arp ~ip = None then
+         failwith "Fabric.warm_arp: resolution failed")
+    t.nodes
+
+(* A connection's two endpoints, preconfigured for each other. Ports
+   must be unique per live connection: Ethernet TCP demux filters match
+   (proto, src_port, dst_port). *)
+let tcp_pair t ~client ~server ~client_port ~server_port
+    ?(mss = 1460) ?(window = 4096) ?(checksum = false)
+    ?(rto = Tcp.default_rto) () =
+  let cn = t.nodes.(client) and sn = t.nodes.(server) in
+  let base =
+    { Tcp.default_config with
+      medium = Tcp.Tcp_ethernet; mss; window; checksum; rto }
+  in
+  let c =
+    Tcp.create cn.kernel
+      { base with
+        local_ip = cn.ip; local_port = client_port;
+        remote_ip = sn.ip; remote_port = server_port;
+        iss = 1_000 + client_port }
+  in
+  let s =
+    Tcp.create sn.kernel
+      { base with
+        local_ip = sn.ip; local_port = server_port;
+        remote_ip = cn.ip; remote_port = client_port;
+        iss = 5_000 + server_port }
+  in
+  (c, s)
+
+let udp_pair t ~client ~server ~client_port ~server_port
+    ?(checksum = false) () =
+  let cn = t.nodes.(client) and sn = t.nodes.(server) in
+  let base =
+    { Udp.default_config with
+      medium = Udp.Ethernet; checksum;
+      mtu_payload =
+        t.costs.Costs.eth_mtu - Packet.ip_header_len - Packet.udp_header_len }
+  in
+  let c =
+    Udp.create cn.kernel
+      { base with
+        local_ip = cn.ip; local_port = client_port;
+        remote_ip = sn.ip; remote_port = server_port }
+  in
+  let s =
+    Udp.create sn.kernel
+      { base with
+        local_ip = sn.ip; local_port = server_port;
+        remote_ip = cn.ip; remote_port = client_port }
+  in
+  (c, s)

@@ -1,0 +1,91 @@
+(** The many-host switched fabric: {!Testbed} generalized to N hosts.
+
+    N simulated DECstations, each with its own kernel, Ethernet NIC and
+    ARP endpoint, all wired to one store-and-forward {!Ash_nic.Switch}
+    on one shared engine. Host [i] owns IP [10.0.0.(i+1)] and station
+    address [02:00:00:00:xx:xx]. Transmit routing is per frame: IPv4
+    destinations resolve through the sender's ARP cache, ARP replies
+    unicast to the requester, everything unresolved broadcasts.
+
+    The scale suite drives thousands of concurrent TCP connections with
+    accept/teardown churn through one server host of this topology; see
+    {!Exp_scale}. *)
+
+type node = {
+  idx : int;
+  ip : int;
+  mac : int;
+  kernel : Ash_kern.Kernel.t;
+  eth : Ash_nic.Ethernet.t;
+  arp : Ash_proto.Arp.t;
+}
+
+type t = {
+  engine : Ash_sim.Engine.t;
+  costs : Ash_sim.Costs.t;
+  switch : Ash_nic.Switch.t;
+  nodes : node array;
+}
+
+val create :
+  ?costs:Ash_sim.Costs.t ->
+  ?queue_limit:int ->
+  ?notify_queue_limit:int ->
+  hosts:int ->
+  unit ->
+  t
+(** [hosts ≥ 2] nodes on a [hosts]-port switch. [queue_limit] bounds
+    each switch egress queue (default 16); [notify_queue_limit] is
+    passed to every kernel. *)
+
+val hosts : t -> int
+val host : t -> int -> node
+val engine : t -> Ash_sim.Engine.t
+val switch : t -> Ash_nic.Switch.t
+
+val run : t -> unit
+val run_for : t -> Ash_sim.Time.ns -> unit
+val now_us : t -> float
+
+val alloc : node -> ?name:string -> int -> Ash_sim.Memory.region
+val alloc_filled :
+  node -> ?name:string -> seed:int -> int -> Ash_sim.Memory.region
+
+val warm_arp : t -> server:int -> unit
+(** Resolve the server's station address from every other host (one
+    host per virtual millisecond, so request broadcasts don't overrun
+    the finite egress queues) and run the engine until done. The
+    broadcast requests teach the server and the switch every client's
+    address, so subsequent traffic is all-unicast. Raises [Failure] if
+    any resolution fails. *)
+
+val tcp_pair :
+  t ->
+  client:int ->
+  server:int ->
+  client_port:int ->
+  server_port:int ->
+  ?mss:int ->
+  ?window:int ->
+  ?checksum:bool ->
+  ?rto:Ash_proto.Tcp.rto_policy ->
+  unit ->
+  Ash_proto.Tcp.t * Ash_proto.Tcp.t
+(** Build a (client, server) endpoint pair over the fabric's Ethernet.
+    Neither side is opened: callers [listen]/[connect]. Ports must be
+    unique per live connection (Ethernet TCP filters demux on the port
+    pair). Defaults: mss 1460 (one MTU), window 4096, no checksum,
+    adaptive RTO. *)
+
+val udp_pair :
+  t ->
+  client:int ->
+  server:int ->
+  client_port:int ->
+  server_port:int ->
+  ?checksum:bool ->
+  unit ->
+  Ash_proto.Udp.t * Ash_proto.Udp.t
+
+val ip_of_index : int -> int
+val mac_of_index : int -> int

@@ -109,8 +109,10 @@ type t = {
   dilps : (int, Dilp.compiled) Hashtbl.t;
   mutable next_dilp : int;
   bindings : (int, binding) Hashtbl.t;
-  mutable eth_rev : binding list; (* reverse install order *)
-  mutable eth_order : binding list option; (* memoised install order *)
+  mutable eth_order : binding list option;
+  (* Memoised prio-sorted Ethernet bindings; only the linear-scan demux
+     fallback needs the ordered list, so bind/unbind just invalidate the
+     memo — O(1) churn on the hot path, rebuild on demand. *)
   eth_trie : binding Dpf_trie.t;
   mutable eth_interp_count : int;
   (* Bindings using the interpreted filter engine (ablation A1) force
@@ -141,6 +143,11 @@ type t = {
   mutable s_upcalls : int;
   mutable s_user : int;
   mutable s_tx : int;
+  mutable s_demux_maint : int;
+  (* Host-side work units spent maintaining the demux structures:
+     constant per bind/unbind plus the length of any ordered-list
+     rebuild. The churn regression test budgets this counter, so a
+     reintroduced per-operation scan over all bindings fails loudly. *)
 }
 
 let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
@@ -167,7 +174,6 @@ let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
     dilps = Hashtbl.create 8;
     next_dilp = 0;
     bindings = Hashtbl.create 8;
-    eth_rev = [];
     eth_order = None;
     eth_trie = Dpf_trie.create ();
     eth_interp_count = 0;
@@ -192,6 +198,7 @@ let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
     s_upcalls = 0;
     s_user = 0;
     s_tx = 0;
+    s_demux_maint = 0;
   }
 
 let engine t = t.engine
@@ -477,8 +484,8 @@ let bind_eth_filter t filter ~compiled delivery =
       filter = Some (filter, prog); prio }
   in
   Hashtbl.add t.bindings vc b;
-  t.eth_rev <- b :: t.eth_rev;
   t.eth_order <- None;
+  t.s_demux_maint <- t.s_demux_maint + 1;
   Dpf_trie.insert t.eth_trie ~prio filter b;
   if not compiled then t.eth_interp_count <- t.eth_interp_count + 1;
   vc
@@ -491,12 +498,29 @@ let unbind_eth_filter t ~vc =
     | None -> invalid_arg "Kernel.unbind_eth_filter: not an Ethernet binding"
     | Some (spec, prog) ->
       Hashtbl.remove t.bindings vc;
-      t.eth_rev <- List.filter (fun x -> x.bvc <> vc) t.eth_rev;
       t.eth_order <- None;
+      t.s_demux_maint <- t.s_demux_maint + 1;
       Dpf_trie.remove t.eth_trie ~prio:b.prio spec;
       (match prog with
        | None -> t.eth_interp_count <- t.eth_interp_count - 1
        | Some _ -> ())
+
+let unbind_vc t ~vc =
+  match Hashtbl.find_opt t.bindings vc with
+  | None -> invalid_arg "Kernel.unbind_vc: unbound"
+  | Some b ->
+    (match b.filter with
+     | Some _ ->
+       invalid_arg "Kernel.unbind_vc: Ethernet binding; use unbind_eth_filter"
+     | None -> ());
+    Hashtbl.remove t.bindings vc;
+    (match t.an2 with
+     | Some nic -> An2.unbind_vc nic ~vc
+     | None -> ())
+
+let binding_count t = Hashtbl.length t.bindings
+let eth_filter_count t = Dpf_trie.size t.eth_trie
+let demux_maintenance_units t = t.s_demux_maint
 
 let set_user_handler t ~vc h =
   match Hashtbl.find_opt t.bindings vc with
@@ -863,7 +887,13 @@ let eth_order t =
   match t.eth_order with
   | Some l -> l
   | None ->
-    let l = List.rev t.eth_rev in
+    let l =
+      Hashtbl.fold
+        (fun _ b acc -> match b.filter with Some _ -> b :: acc | None -> acc)
+        t.bindings []
+      |> List.sort (fun a b -> compare a.prio b.prio)
+    in
+    t.s_demux_maint <- t.s_demux_maint + List.length l;
     t.eth_order <- Some l;
     l
 

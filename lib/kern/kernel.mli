@@ -203,6 +203,26 @@ val register_dilp : t -> Ash_pipes.Dilp.compiled -> int
 val bind_vc : t -> vc:int -> delivery -> unit
 (** Bind an AN2 virtual circuit (and open it on the attached NIC). *)
 
+val unbind_vc : t -> vc:int -> unit
+(** Tear down an AN2 binding: the VC closes on the NIC (still-posted
+    receive buffers are forgotten with it). Raises [Invalid_argument]
+    for an unbound vc or an Ethernet filter binding (use
+    {!unbind_eth_filter} for those). *)
+
+val binding_count : t -> int
+(** Installed demux bindings, AN2 VCs and Ethernet filters together —
+    the churn suite's leak check. *)
+
+val eth_filter_count : t -> int
+(** Filters currently merged into the demux trie. *)
+
+val demux_maintenance_units : t -> int
+(** Monotonic count of host-side work units spent maintaining demux
+    structures (bind, unbind, ordered-list rebuilds; each unit is O(1)
+    work). The churn regression budgets this: n bind/unbind pairs must
+    stay within O(n) units, so a quadratic rescan cannot land
+    silently. *)
+
 val rebind_vc : t -> vc:int -> delivery -> unit
 (** Change the delivery mode of an existing binding (e.g. disable ASHs
     under load, §VI-4). *)

@@ -77,6 +77,10 @@ let bind_vc t ~vc =
   if Hashtbl.mem t.vcs vc then invalid_arg "An2.bind_vc: already bound";
   Hashtbl.add t.vcs vc { buffers = [] }
 
+let unbind_vc t ~vc =
+  if not (Hashtbl.mem t.vcs vc) then invalid_arg "An2.unbind_vc: not bound";
+  Hashtbl.remove t.vcs vc
+
 let post_buffer t ~vc ~addr ~len =
   match Hashtbl.find_opt t.vcs vc with
   | None -> invalid_arg "An2.post_buffer: unbound vc"

@@ -48,6 +48,11 @@ val bind_vc : t -> vc:int -> unit
 (** Open a virtual circuit for receiving. Raises [Invalid_argument] if
     already bound. *)
 
+val unbind_vc : t -> vc:int -> unit
+(** Close a virtual circuit: subsequent arrivals on it drop with the
+    no-VC counter, and still-posted buffers are forgotten. Raises
+    [Invalid_argument] if not bound. *)
+
 val post_buffer : t -> vc:int -> addr:int -> len:int -> unit
 (** Give the board a pinned receive buffer for the VC (applications
     "use those message buffers directly, as long as [they] eventually

@@ -16,6 +16,17 @@ type stats = {
   rx_crc_errors : int;
 }
 
+let broadcast_mac = 0xffff_ffff_ffff
+
+(* Frames carry no Ethernet header on this model (demux filters start
+   at the IP/ARP payload), so on a switched fabric the station and
+   destination addresses travel out of band alongside the frame. *)
+type fabric_port = {
+  f_ingress :
+    src_mac:int -> dst_mac:int -> frame:Bytes.t -> crc_sent:int32 -> unit;
+  f_link : Faulty_link.t; (* host -> switch direction *)
+}
+
 type t = {
   engine : Engine.t;
   machine : Machine.t;
@@ -26,6 +37,9 @@ type t = {
   mutable rx_handler : rx -> unit;
   mutable peer : t option;
   mutable tx_link : Faulty_link.t option;
+  mutable fabric : fabric_port option;
+  mutable mac : int;
+  mutable route : (Bytes.t -> int option) option;
   mutable corrupt_next : bool;
   mutable tx_frames : int;
   mutable rx_frames : int;
@@ -53,6 +67,9 @@ let create engine machine =
     rx_handler = ignore;
     peer = None;
     tx_link = None;
+    fabric = None;
+    mac = broadcast_mac;
+    route = None;
     corrupt_next = false;
     tx_frames = 0;
     rx_frames = 0;
@@ -61,8 +78,8 @@ let create engine machine =
   }
 
 let connect a b =
-  if a.peer <> None || b.peer <> None then
-    invalid_arg "Ethernet.connect: already connected";
+  if a.peer <> None || b.peer <> None || a.fabric <> None || b.fabric <> None
+  then invalid_arg "Ethernet.connect: already connected";
   let costs = Machine.costs a.machine in
   let mk () =
     Faulty_link.wrap ~nic:"eth"
@@ -73,6 +90,21 @@ let connect a b =
   b.peer <- Some a;
   a.tx_link <- Some (mk ());
   b.tx_link <- Some (mk ())
+
+let set_mac t mac = t.mac <- mac land broadcast_mac
+let mac t = t.mac
+let set_route t f = t.route <- Some f
+
+let attach_fabric t ~ingress =
+  if t.peer <> None || t.fabric <> None then
+    invalid_arg "Ethernet.attach_fabric: already connected";
+  let costs = Machine.costs t.machine in
+  let link =
+    Faulty_link.wrap ~nic:"eth"
+      (Link.create t.engine ~fixed_ns:costs.Costs.eth_hw_oneway_ns
+         ~ns_per_byte:costs.Costs.eth_ns_per_byte ())
+  in
+  t.fabric <- Some { f_ingress = ingress; f_link = link }
 
 let set_rx_handler t f = t.rx_handler <- f
 
@@ -107,11 +139,12 @@ let deliver t ~payload ~crc_sent =
       Trace.emit (Trace.Pkt_rx { nic = "eth"; bytes = len });
     t.rx_handler { ring_addr = slot; len; crc_ok }
 
+let deliver_frame t ~payload ~crc_sent = deliver t ~payload ~crc_sent
+
 let transmit t payload =
   let len = Bytes.length payload in
   if len = 0 || len > t.mtu then invalid_arg "Ethernet.transmit: bad length";
-  match t.peer, t.tx_link with
-  | Some peer, Some link ->
+  let put_on_wire link handoff =
     t.tx_frames <- t.tx_frames + 1;
     if Trace.enabled () then
       Trace.emit (Trace.Pkt_tx { nic = "eth"; bytes = len });
@@ -126,8 +159,21 @@ let transmit t payload =
     (* Wire occupancy: preamble + header/CRC framing + padding to the
        64-byte minimum frame. *)
     let wire_bytes = max (len + 18) costs.Costs.eth_min_frame + 8 in
-    Faulty_link.transmit link ~wire_bytes ~frame (fun payload ->
-        deliver peer ~payload ~crc_sent)
+    Faulty_link.transmit link ~wire_bytes ~frame (handoff crc_sent)
+  in
+  match t.peer, t.tx_link, t.fabric with
+  | Some peer, Some link, _ ->
+    put_on_wire link (fun crc_sent payload -> deliver peer ~payload ~crc_sent)
+  | _, _, Some f ->
+    (* Routed on the sender's view of the payload (before any injected
+       corruption): an unresolvable destination goes out as broadcast. *)
+    let dst_mac =
+      match t.route with
+      | Some r -> (match r payload with Some m -> m | None -> broadcast_mac)
+      | None -> broadcast_mac
+    in
+    put_on_wire f.f_link (fun crc_sent payload ->
+        f.f_ingress ~src_mac:t.mac ~dst_mac ~frame:payload ~crc_sent)
   | _ -> failwith "Ethernet.transmit: not connected"
 
 let release_buffer t ~ring_addr =
@@ -149,13 +195,19 @@ let destripe t rx ~dst =
 
 let corrupt_next_frame t = t.corrupt_next <- true
 
+let out_link t =
+  match t.tx_link, t.fabric with
+  | Some link, _ -> Some link
+  | None, Some f -> Some f.f_link
+  | None, None -> None
+
 let set_fault_plan t plan =
-  match t.tx_link with
+  match out_link t with
   | Some link -> Faulty_link.set_plan link plan
   | None -> invalid_arg "Ethernet.set_fault_plan: not connected"
 
 let fault_plan t =
-  match t.tx_link with
+  match out_link t with
   | Some link -> Faulty_link.plan link
   | None -> None
 

@@ -34,6 +34,40 @@ val create : Ash_sim.Engine.t -> Ash_sim.Machine.t -> t
     [2 * eth_mtu] bytes) out of the machine's memory. *)
 
 val connect : t -> t -> unit
+(** Wire two NICs back to back (the two-node testbed). Mutually
+    exclusive with {!attach_fabric}. *)
+
+val broadcast_mac : int
+(** The all-ones station address (48 bits). *)
+
+val set_mac : t -> int -> unit
+(** Station address used as [src_mac] on a switched fabric (low 48
+    bits; default {!broadcast_mac}). *)
+
+val mac : t -> int
+
+val set_route : t -> (Bytes.t -> int option) -> unit
+(** Install the destination-address hook consulted per transmitted
+    frame on a switched fabric: the model's frames carry no Ethernet
+    header (demux filters read the IP/ARP payload directly), so the
+    destination station travels out of band. [None] (or no hook)
+    means broadcast. Unused in point-to-point mode. *)
+
+val attach_fabric :
+  t ->
+  ingress:(src_mac:int -> dst_mac:int -> frame:Bytes.t -> crc_sent:int32 ->
+           unit) ->
+  unit
+(** Attach this NIC to a switch port: builds the host-to-switch wire
+    (same rate model as {!connect}) and hands every transmitted frame,
+    once it has fully crossed that wire, to [ingress] together with the
+    out-of-band addresses and the sender-computed CRC. Mutually
+    exclusive with {!connect}. Called by {!Switch.attach}. *)
+
+val deliver_frame : t -> payload:Bytes.t -> crc_sent:int32 -> unit
+(** Egress entry used by the switch: DMA the frame into the receive
+    ring (striped), verify [crc_sent] against the received bytes, and
+    run the driver handler — exactly the point-to-point receive path. *)
 
 val set_rx_handler : t -> (rx -> unit) -> unit
 
@@ -56,8 +90,10 @@ val corrupt_next_frame : t -> unit
 
 val set_fault_plan : t -> Ash_sim.Fault.t option -> unit
 (** Install (or clear) a deterministic fault plan on this NIC's
-    transmit direction (see {!An2.set_fault_plan}). Raises
-    [Invalid_argument] if not connected. *)
+    transmit direction (see {!An2.set_fault_plan}); on a fabric this is
+    the host-to-switch wire (use {!Switch.set_fault_plan} for the
+    switch-to-host direction). Raises [Invalid_argument] if not
+    connected. *)
 
 val fault_plan : t -> Ash_sim.Fault.t option
 

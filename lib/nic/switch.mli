@@ -1,0 +1,65 @@
+(** A store-and-forward Ethernet switch: the many-host fabric.
+
+    N ports, each wired to one {!Ethernet} NIC. A frame fully crosses
+    the host-to-switch wire ({!Ethernet.attach_fabric}), then the
+    switch learns the source station's port, looks up the destination
+    and queues the frame on the egress port — or floods every other
+    attached port when the destination is unknown or broadcast.
+
+    Each egress port has a {e finite} output queue ([queue_limit]
+    frames): a frame arriving at a full queue is tail-dropped with a
+    per-port counter and a [Pkt_drop]/[Queue_full] trace event —
+    congestion at a shared destination (the scale suite's single server
+    host) shows up here, and the transports recover end to end.
+
+    The switch never recomputes CRCs: the sender's CRC rides with the
+    frame through the store-and-forward hop, so corruption injected on
+    either wire (see {!set_fault_plan}) is caught by the receiving
+    NIC's link CRC exactly as on a point-to-point segment.
+
+    Everything is deterministic: FIFO queues, array-ordered flooding,
+    and the shared engine's FIFO-at-same-instant event order. *)
+
+type t
+
+type port_stats = {
+  tx_enqueued : int;          (** Frames accepted into this egress queue. *)
+  tx_dropped_overflow : int;  (** Tail drops at the queue bound. *)
+  queue_peak : int;           (** High-water mark of the queue depth. *)
+}
+
+type stats = {
+  frames_in : int;   (** Frames received from all ports. *)
+  forwarded : int;   (** Known-unicast relays. *)
+  flooded : int;     (** Unknown-destination or broadcast frames (counted
+                         once per ingress frame, not per copy). *)
+  filtered : int;    (** Destination learned on the ingress port itself. *)
+  macs_learned : int;
+}
+
+val create :
+  Ash_sim.Engine.t ->
+  ?queue_limit:int ->
+  costs:Ash_sim.Costs.t ->
+  ports:int ->
+  unit ->
+  t
+(** [queue_limit] (default 16, ≥ 1) bounds each egress queue. [costs]
+    sets the per-port wire rate (Ethernet constants). *)
+
+val attach : t -> port:int -> Ethernet.t -> unit
+(** Wire a NIC to a port: builds the switch-to-host wire and registers
+    the switch as the NIC's fabric. Raises [Invalid_argument] if the
+    port is out of range or already attached. *)
+
+val num_ports : t -> int
+
+val set_fault_plan : t -> port:int -> Ash_sim.Fault.t option -> unit
+(** Install (or clear) a deterministic fault plan on the
+    switch-to-host direction of a port — a lossy egress port. *)
+
+val lookup_port : t -> mac:int -> int option
+(** The learned station table (for tests). *)
+
+val port_stats : t -> port:int -> port_stats
+val stats : t -> stats

@@ -119,6 +119,7 @@ type t = {
   mutable reader : (addr:int -> len:int -> unit) option;
   mutable on_connected : (unit -> unit) option;
   mutable on_closed : (unit -> unit) option;
+  mutable on_peer_fin : (unit -> unit) option;
   mutable delivered_off : int;
   mutable sent_during_delivery : bool;
   mutable ip_id : int;
@@ -268,6 +269,13 @@ let resend_outstanding t =
        xmit t (Bytes.copy seg.frame))
     (List.rev t.unacked)
 
+(* FIN retry limit in LAST_ACK (the R2 limit of real stacks): a peer
+   that actively closed and already reclaimed its binding will never
+   ack our FIN — its late segments drop as demux misses — so after this
+   many consecutive timeouts the passive closer gives up and finishes
+   unilaterally instead of retransmitting forever. *)
+let last_ack_max_backoff = 6
+
 let rec arm_rt_timer t =
   match t.rt_timer with
   | Some _ -> ()
@@ -280,13 +288,26 @@ let rec arm_rt_timer t =
            (fun () ->
               t.rt_timer <- None;
               if t.unacked <> [] then begin
-                t.s_rexmit_to <- t.s_rexmit_to + 1;
-                t.rto_last <- Some (now_ns t, tcb_get t Tcb.off_snd_una);
-                (* Exponential backoff until a fresh ack arrives (only
-                   the adaptive policy consults it). *)
-                t.backoff <- t.backoff + 1;
-                resend_outstanding t;
-                arm_rt_timer t
+                if state t = Tcb.st_last_ack
+                   && t.backoff >= last_ack_max_backoff
+                then begin
+                  t.unacked <- [];
+                  set_state t Tcb.st_closed;
+                  match t.on_closed with
+                  | Some f ->
+                    t.on_closed <- None;
+                    f ()
+                  | None -> ()
+                end
+                else begin
+                  t.s_rexmit_to <- t.s_rexmit_to + 1;
+                  t.rto_last <- Some (now_ns t, tcb_get t Tcb.off_snd_una);
+                  (* Exponential backoff until a fresh ack arrives (only
+                     the adaptive policy consults it). *)
+                  t.backoff <- t.backoff + 1;
+                  resend_outstanding t;
+                  arm_rt_timer t
+                end
               end))
 
 let cancel_rt_timer t =
@@ -534,7 +555,10 @@ let handle_established t (tcp : Packet.Tcp.t) ~addr ~plen =
   then begin
     tcb_set t Tcb.off_rcv_nxt (tcb_get t Tcb.off_rcv_nxt + 1);
     set_state t Tcb.st_close_wait;
-    send_pure_ack t
+    send_pure_ack t;
+    (* Passive-close notification: the application decides when to send
+       its own FIN (a churn server closes here and then tears down). *)
+    match t.on_peer_fin with Some f -> f () | None -> ()
   end
 
 let handle_closing t (tcp : Packet.Tcp.t) ~plen =
@@ -707,6 +731,7 @@ let create kernel cfg =
       reader = None;
       on_connected = None;
       on_closed = None;
+      on_peer_fin = None;
       delivered_off = 0;
       sent_during_delivery = false;
       ip_id = 1;
@@ -895,6 +920,29 @@ let close t ~on_closed =
   set_state t
     (if st = Tcb.st_established then Tcb.st_fin_wait_1 else Tcb.st_last_ack);
   xmit t (Bytes.copy frame)
+
+let set_on_peer_fin t f = t.on_peer_fin <- Some f
+
+(* Release everything the endpoint pinned: the retransmission timer,
+   the demux binding (so the filter leaves the merged trie / the VC
+   closes on the board) and the endpoint's memory regions. The churn
+   suite asserts all three return to baseline. [t] must not be used
+   afterwards; any late segment for the old binding drops as a DPF
+   miss, exactly like a segment for a port nobody listens on. *)
+let teardown t =
+  cancel_rt_timer t;
+  t.pending_write <- None;
+  t.unacked <- [];
+  t.reader <- None;
+  t.on_connected <- None;
+  t.on_closed <- None;
+  t.on_peer_fin <- None;
+  (match t.cfg.medium with
+   | Tcp_ethernet -> Kernel.unbind_eth_filter t.kernel ~vc:t.bind_vc
+   | Tcp_an2 { vc } -> Kernel.unbind_vc t.kernel ~vc);
+  let m = mem t in
+  List.iter (Memory.free m)
+    [ t.staging; t.snd_buf; t.ack_buf; t.rcv_buf; t.tcb ]
 
 let rcv_buffer_region t = t.rcv_buf
 

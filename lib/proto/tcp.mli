@@ -120,7 +120,27 @@ val set_reader : t -> (addr:int -> len:int -> unit) -> unit
     piggybacks the ack. *)
 
 val close : t -> on_closed:(unit -> unit) -> unit
-(** Send FIN; [on_closed] fires when the teardown completes. *)
+(** Send FIN; [on_closed] fires when the teardown completes. A passive
+    closer stuck in LAST_ACK (its final ack lost, the peer already torn
+    down) gives up after a bounded FIN retry run — the R2 limit of real
+    stacks — and fires [on_closed] then, so churn never wedges. *)
+
+val set_on_peer_fin : t -> (unit -> unit) -> unit
+(** Passive-close notification: fires once when the peer's FIN moves
+    the connection to CLOSE_WAIT. A churn server uses this to decide
+    when to {!close} (and then {!teardown}) its side. *)
+
+val teardown : t -> unit
+(** Release every demux and memory resource the endpoint holds: cancel
+    the retransmission timer, remove the demux binding (Ethernet filter
+    out of the merged trie, or AN2 VC closed on the board) and free the
+    endpoint's regions (TCB, buffers). Call after the close handshake —
+    or at any point to abandon the connection; a late segment for the
+    old binding drops as a demux miss. The endpoint must not be used
+    afterwards (its memory faults on access). AN2 receive buffers
+    posted at create are forgotten by the board but their backing
+    regions stay allocated; Ethernet endpoints (which share the
+    kernel's pktbuf pool) reclaim fully. *)
 
 val state_name : t -> string
 val stats : t -> stats

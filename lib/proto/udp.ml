@@ -185,6 +185,17 @@ let create kernel cfg =
 
 let set_receiver t f = t.receiver <- Some f
 
+(* Mirror of {!Tcp.teardown}: drop the demux binding and free the
+   endpoint's regions (AN2 receive buffers stay allocated — the board
+   forgets them with the VC). *)
+let teardown t =
+  t.receiver <- None;
+  (match t.cfg.medium with
+   | Ethernet -> Kernel.unbind_eth_filter t.kernel ~vc:t.bind_vc
+   | An2 { vc } -> Kernel.unbind_vc t.kernel ~vc);
+  let mem = Machine.mem (Kernel.machine t.kernel) in
+  List.iter (Memory.free mem) [ t.app_buf; t.staging; t.send_buf ]
+
 let send t ~addr ~len =
   if len < 0 || len > t.cfg.mtu_payload then invalid_arg "Udp.send: length";
   let m = Kernel.machine t.kernel in

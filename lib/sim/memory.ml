@@ -41,6 +41,31 @@ let alloc t ?(name = "region") ?(resident = true) len =
 
 let set_resident r v = r.resident <- v
 
+let region_count t = t.count
+
+(* Release a region: later accesses to its addresses fault, so
+   use-after-teardown is caught rather than silently reading stale
+   bytes. The address space is not reused (brk never rewinds); only the
+   lookup structure shrinks. *)
+let free t r =
+  let idx = ref (-1) in
+  let lo = ref 0 and hi = ref (t.count - 1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.regions.(mid) in
+    if c.base = r.base then begin
+      idx := mid;
+      lo := !hi + 1
+    end
+    else if c.base < r.base then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !idx < 0 || t.regions.(!idx) != r then
+    invalid_arg "Memory.free: not a live region";
+  Array.blit t.regions (!idx + 1) t.regions !idx (t.count - !idx - 1);
+  t.count <- t.count - 1;
+  t.last <- None
+
 let find t ~addr ~size =
   let inside r = addr >= r.base && addr + size <= r.base + r.len in
   match t.last with

@@ -31,6 +31,18 @@ val alloc : t -> ?name:string -> ?resident:bool -> int -> region
 
 val set_resident : region -> bool -> unit
 
+val free : t -> region -> unit
+(** Release a region allocated with {!alloc}: subsequent accesses to
+    its addresses fault (use-after-free is caught, never silently
+    served). Address space is not reused. Raises [Invalid_argument] if
+    the region is not currently live (e.g. double free). Connection
+    churn relies on this so thousands of short-lived endpoints do not
+    grow the lookup table without bound. *)
+
+val region_count : t -> int
+(** Live (allocated, not freed) regions — the scale suite's leak
+    check. *)
+
 val find : t -> addr:int -> size:int -> region option
 (** The region wholly containing [addr, addr+size), if mapped. Does not
     check residency. *)

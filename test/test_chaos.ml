@@ -495,6 +495,41 @@ let test_same_seed_same_chaos_stream () =
   Alcotest.(check bool) "counters identical" true
     (Metrics.counters (Trace.metrics r1) = Metrics.counters (Trace.metrics r2))
 
+(* ------------------------------------------------------------------ *)
+(* The switched fabric under loss                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Switch = Ash_nic.Switch
+module Fabric = Ash_core.Fabric
+module Exp_scale = Ash_core.Exp_scale
+
+(* One switch egress port drops a tenth of its frames: every connection
+   behind it loses SYN-ACKs, echo responses and FINs, and must still
+   complete byte-correct on the adaptive retransmission policy — with
+   nothing leaked and no endpoint wedged. The plan sits on a
+   client-facing port, so every lost segment is covered by an armed
+   retransmission timer on the other side. *)
+let test_fabric_lossy_port () =
+  let r =
+    Exp_scale.run_churn
+      ~configure:(fun fab ->
+          Switch.set_fault_plan (Fabric.switch fab) ~port:1
+            (Some (Fault.create (Fault.lossy ~seed 0.1))))
+      { Exp_scale.default_spec with
+        connections = 12;
+        client_hosts = 3;
+        rounds = 4;
+        payload = 384;
+        verify = true }
+  in
+  Alcotest.(check int) "all connections completed" 12 r.Exp_scale.completed;
+  Alcotest.(check int) "no stragglers" 0 r.Exp_scale.stragglers;
+  Alcotest.(check int) "echoes byte-correct" 0 r.Exp_scale.verify_failures;
+  Alcotest.(check bool) "loss actually recovered" true
+    (r.Exp_scale.retransmits > 0);
+  Alcotest.(check int) "no bindings leaked" 0 r.Exp_scale.leaked_bindings;
+  Alcotest.(check int) "no regions leaked" 0 r.Exp_scale.leaked_regions
+
 let test_different_seed_different_faults () =
   let r1, _ = chaos_scenario ~seed () in
   let r2, _ = chaos_scenario ~seed:(seed + 17) () in
@@ -547,6 +582,11 @@ let () =
         [
           Alcotest.test_case "converges under dup+reorder" `Quick
             test_dsm_converges_under_duplication_and_reorder;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "lossy switch port, churn completes" `Quick
+            test_fabric_lossy_port;
         ] );
       ( "determinism",
         [

@@ -83,6 +83,49 @@ let test_different_work_different_stream () =
   Alcotest.(check bool) "streams differ" true
     (Trace.total r1 <> Trace.total r2)
 
+(* ------------------------------------------------------------------ *)
+(* The many-host fabric                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Exp_scale = Ash_core.Exp_scale
+
+(* A fabric churn run — 7 hosts, staggered connects, concurrent echo
+   rounds, close/teardown storm — is a pure function of its spec: two
+   runs must produce byte-identical trace streams, identical counters
+   and an identical result record. This covers the switch (learning,
+   flooding, queueing), ARP, the Ethernet fabric mode and the churn
+   paths of the kernel demux, none of which the two-node scenario
+   above touches. *)
+let fabric_scenario () =
+  let r = Trace.record ~capacity:65536 () in
+  let result =
+    Exp_scale.run_churn
+      { Exp_scale.default_spec with
+        connections = 12;
+        client_hosts = 6;
+        rounds = 2;
+        verify = true }
+  in
+  Trace.stop r;
+  (r, result)
+
+let test_fabric_churn_deterministic () =
+  let r1, res1 = fabric_scenario () in
+  let r2, res2 = fabric_scenario () in
+  Alcotest.(check bool) "all connections completed" true
+    (res1.Exp_scale.completed = 12 && res1.Exp_scale.stragglers = 0);
+  Alcotest.(check bool) "results identical" true (res1 = res2);
+  Alcotest.(check int) "stream lengths" (Trace.total r1) (Trace.total r2);
+  Alcotest.(check bool) "stream non-trivial" true (Trace.total r1 > 200);
+  List.iteri
+    (fun i ((ts1, k1), (ts2, k2)) ->
+       if ts1 <> ts2 || k1 <> k2 then
+         Alcotest.failf "event %d diverged: [%d] %a vs [%d] %a" i ts1
+           Trace.pp_kind k1 ts2 Trace.pp_kind k2)
+    (List.combine (stream r1) (stream r2));
+  Alcotest.(check bool) "counters identical" true
+    (Metrics.counters (Trace.metrics r1) = Metrics.counters (Trace.metrics r2))
+
 let () =
   Alcotest.run "determinism"
     [
@@ -94,5 +137,10 @@ let () =
             test_stream_covers_taxonomy;
           Alcotest.test_case "comparison has teeth" `Quick
             test_different_work_different_stream;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "churn run, same stream twice" `Quick
+            test_fabric_churn_deterministic;
         ] );
     ]
