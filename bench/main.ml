@@ -37,6 +37,7 @@ let experiments : (string * (unit -> Report.table)) list =
     ("absint", Core.Exp_ablate.absint);
     ("chaos", fun () -> Core.Exp_chaos.chaos ());
     ("exp_scale", Core.Exp_scale.scale);
+    ("exp_multicore", Core.Exp_multicore.multicore);
   ]
 
 (* -- Bechamel: host-side cost of each experiment's simulation kernel -- *)
@@ -253,12 +254,33 @@ let json_escape s =
 
 let json_float f = Printf.sprintf "%.6g" f
 
+(* Run metadata: enough to interpret host-dependent rows (the wall-clock
+   section of exp_multicore) when the JSON is compared across machines. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let rev = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+     | Unix.WEXITED 0 when rev <> "" -> rev
+     | _ -> "unknown")
+  with _ -> "unknown"
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
 let write_results_json ~path ~backend ~tables ~bechamel ~backends ~tracer =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
   add "  \"schema\": \"ashs-bench-results/1\",\n";
   add "  \"backend\": \"%s\",\n" (Ash_vm.Exec.backend_name backend);
+  add "  \"meta\": {\"shards\": %d, \"jobs\": %d, \"host_cores\": %d, \
+       \"git_rev\": \"%s\"},\n"
+    (env_int "ASH_SHARDS" 1) (env_int "ASH_JOBS" 1)
+    (Domain.recommended_domain_count ())
+    (json_escape (git_rev ()));
   add "  \"tables\": {\n";
   List.iteri
     (fun i (id, (t : Report.table)) ->

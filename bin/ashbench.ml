@@ -33,6 +33,8 @@ let experiments : (string * string * (unit -> Report.table)) list =
      fun () -> Core.Exp_chaos.chaos ());
     ("exp_scale", "connection churn over the many-host switched fabric",
      Core.Exp_scale.scale);
+    ("exp_multicore", "RSS-sharded server goodput vs cores; domain speedup",
+     Core.Exp_multicore.multicore);
   ]
 
 let handlers : (string * (unit -> Program.t)) list =
@@ -40,7 +42,7 @@ let handlers : (string * (unit -> Program.t)) list =
     ("echo", Core.Handlers.echo);
     ("remote-increment", fun () -> Core.Handlers.remote_increment ~slot_addr:0x2000);
     ("remote-write-generic",
-     fun () -> Core.Handlers.remote_write_generic ~table_addr:0x3000 ~entries:4);
+     fun () -> Core.Handlers.remote_write_generic ~table_addr:0x3000 ~entries:4 ());
     ("remote-write-specific", Core.Handlers.remote_write_specific);
     ("remote-write-guarded", Core.Handlers.remote_write_guarded);
     ("tcp-fastpath",
@@ -106,9 +108,28 @@ let run_cmd =
                  handler download emits the full naive check set \
                  (measures what the abstract interpreter saves).")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Run sharded experiments on $(docv) worker domains \
+                 (sets ASH_JOBS, and ASH_SHARDS too unless already set \
+                 in the environment). Virtual-time results depend only \
+                 on the shard count, never on $(docv): the same seed \
+                 produces byte-identical tables and trace streams at \
+                 any $(b,--jobs).")
+  in
   let run markdown trace trace_json profile trace_sample trace_chrome
-      no_absint ids =
+      no_absint jobs ids =
     if no_absint then Ash_kern.Kernel.set_absint_default false;
+    (match jobs with
+     | None -> ()
+     | Some n when n >= 1 ->
+       Unix.putenv "ASH_JOBS" (string_of_int n);
+       if Sys.getenv_opt "ASH_SHARDS" = None then
+         Unix.putenv "ASH_SHARDS" (string_of_int n)
+     | Some _ ->
+       Printf.eprintf "--jobs must be >= 1\n";
+       exit 2);
     let selected =
       if ids = [] then experiments
       else
@@ -160,7 +181,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run $ markdown $ trace $ trace_json $ profile $ trace_sample
-          $ trace_chrome $ no_absint $ ids)
+          $ trace_chrome $ no_absint $ jobs $ ids)
 
 (* Shared by inspect/assemble: source, download-time fact table, then
    the sandboxed code with the elision summary. *)

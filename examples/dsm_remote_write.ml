@@ -31,7 +31,7 @@ let run_variant ~label ~specific =
   let program =
     if specific then Handlers.remote_write_specific ()
     else
-      Handlers.remote_write_generic ~table_addr:table.Memory.base ~entries:1
+      Handlers.remote_write_generic ~table_addr:table.Memory.base ~entries:1 ()
   in
   let ash =
     match Kernel.download_ash server.TB.kernel ~sandbox:true program with

@@ -1,0 +1,61 @@
+(** Cross-core DSM on the multi-queue server: per-segment ownership
+    plus message-passing forwards.
+
+    The sharded counterpart of {!Dsm}. Every segment is owned by
+    exactly one of host 0's RSS cores ([seg mod cores]); only the
+    owner's kernel ever touches the segment, so the paper's §V
+    atomicity argument (one handler at a time per core) holds per core
+    with no locks. A request the flow hash lands on the wrong core
+    aborts out of that core's handler (its translation table maps only
+    owned segments) and is forwarded to the owner's shard as a cluster
+    message carrying one epoch of virtual latency.
+
+    Requests are one-way UDP remote writes:
+    [IP(20) | UDP(8) | seg(4) | off(4) | size(4) | data], served
+    in-kernel by {!Handlers.remote_write_generic} with [msg_off = 28].
+    Completion is observed through the segment contents and the
+    commit/forward counters — there are no replies. *)
+
+type t
+
+val create : ?port:int -> segments:int -> segment_size:int -> Fabric.t -> t
+(** Export [segments] segments of [segment_size] bytes spread over
+    host 0's cores of [fab] (round-robin: segment [i] belongs to core
+    [i mod cores]); on a single-queue fabric everything lands on host
+    0's one kernel. Downloads the (sandboxed) write handler and binds
+    it to UDP [port] (default 9000) on every core. *)
+
+val ncores : t -> int
+val owner : t -> seg:int -> int
+
+val ring_of : t -> client:int -> sport:int -> int
+(** The core whose ring the RSS hash picks for this client flow — where
+    the request will be demuxed, which need not be [owner seg]. *)
+
+val write_at :
+  t ->
+  client:int ->
+  sport:int ->
+  at:Ash_sim.Time.ns ->
+  seg:int ->
+  off:int ->
+  data:Bytes.t ->
+  unit
+(** Schedule a remote write from [client] (≥ 1) at virtual time [at]
+    (on the client's own shard). [data] must be word-aligned, 4–4096
+    bytes, in segment bounds — trusted-peer validation as in {!Dsm},
+    since a rejected request has no effect and no reply. *)
+
+val committed_in_kernel : t -> int
+(** Writes the RSS target core owned and applied entirely in-kernel
+    (sum of per-core handler commits since [create]). *)
+
+val forwards : t -> int
+(** Writes that landed on a non-owner core and were re-routed. *)
+
+val applied_forwards : t -> int
+(** Forwarded writes the owner cores have applied so far (equals
+    {!forwards} once the fabric has quiesced). *)
+
+val read_seg : t -> seg:int -> off:int -> len:int -> Bytes.t
+(** Segment contents, straight from the owner core's memory. *)

@@ -41,7 +41,7 @@ let run_once ?(absint = false) ?(specialize_exit = false) ~variant ~sandboxed
   let program =
     match variant with
     | Generic ->
-      Handlers.remote_write_generic ~table_addr:table.Memory.base ~entries:1
+      Handlers.remote_write_generic ~table_addr:table.Memory.base ~entries:1 ()
     | Specific -> Handlers.remote_write_specific ()
     | Guarded -> Handlers.remote_write_guarded ()
   in
@@ -91,7 +91,7 @@ let overhead_ratio ~variant ~payload_len =
 let sandbox_stats ?(absint = false) ?(specialize_exit = false) ~variant () =
   let program =
     match variant with
-    | Generic -> Handlers.remote_write_generic ~table_addr:0x3000 ~entries:1
+    | Generic -> Handlers.remote_write_generic ~table_addr:0x3000 ~entries:1 ()
     | Specific -> Handlers.remote_write_specific ()
     | Guarded -> Handlers.remote_write_guarded ()
   in

@@ -32,7 +32,14 @@ type churn_spec = {
   data_stagger_ns : int;
   verify : bool;        (** Byte-verify every echoed payload. *)
   deadline_ns : int;    (** Virtual-time cap on the whole run. *)
+  shards : int;         (** Fabric shards (host h on shard h mod shards). *)
+  jobs : int;           (** Worker domains executing the shards. *)
 }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try max 1 (int_of_string s) with _ -> default)
+  | None -> default
 
 let default_spec =
   {
@@ -48,6 +55,10 @@ let default_spec =
     data_stagger_ns = 600_000;
     verify = false;
     deadline_ns = 60_000_000_000;
+    (* Env-overridable like SCALE_CONNS, so the whole scale suite can
+       run sharded/multi-domain without touching any test. *)
+    shards = env_int "ASH_SHARDS" 1;
+    jobs = env_int "ASH_JOBS" 1;
   }
 
 type churn_result = {
@@ -110,25 +121,26 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
   if spec.rounds < 1 then invalid_arg "Exp_scale.run_churn: rounds";
   if spec.payload < 1 || spec.payload > 1460 then
     invalid_arg "Exp_scale.run_churn: payload must fit one segment";
+  let nhosts = spec.client_hosts + 1 in
   let fab =
     Fabric.create ~queue_limit:spec.queue_limit
       ~notify_queue_limit:(max 256 (2 * spec.connections))
-      ~hosts:(spec.client_hosts + 1) ()
+      ~shards:spec.shards ~jobs:spec.jobs ~hosts:nhosts ()
   in
-  let eng = Fabric.engine fab in
+  let seng = Fabric.host_engine fab 0 in
   Fabric.warm_arp fab ~server:0;
   configure fab;
   (* Per-client-host request payload (the echo source), allocated before
      the leak baseline is taken: only per-connection state may leak. *)
   let src =
-    Array.init (spec.client_hosts + 1) (fun h ->
+    Array.init nhosts (fun h ->
         if h = 0 then None
         else
           Some (Fabric.alloc_filled (Fabric.host fab h) ~seed:(100 + h)
                   spec.payload))
   in
   let expected =
-    Array.init (spec.client_hosts + 1) (fun h ->
+    Array.init nhosts (fun h ->
         let b = Bytes.create spec.payload in
         Rng.fill_bytes (Rng.create (100 + h)) b;
         b)
@@ -137,7 +149,7 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
     Machine.mem (Kernel.machine (Fabric.host fab h).Fabric.kernel)
   in
   let baseline =
-    Array.init (spec.client_hosts + 1) (fun h ->
+    Array.init nhosts (fun h ->
         let k = (Fabric.host fab h).Fabric.kernel in
         (Kernel.binding_count k, Kernel.eth_filter_count k,
          Memory.region_count (node_mem h)))
@@ -159,13 +171,17 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
           s_closed = false;
         })
   in
-  let lats = Array.make (spec.connections * spec.rounds) 0 in
-  let nlat = ref 0 in
-  let verify_failures = ref 0 in
-  let retransmits = ref 0 in
-  let last_done = ref 0 in
-  let tmp = Bytes.create 1500 in
-  let t0 = Engine.now eng in
+  (* Per-host accumulators: each slot is written only from its host's
+     shard (the server's contributions land at index 0), then merged
+     single-threaded after the run. *)
+  let lat_cap = spec.rounds * ((spec.connections / spec.client_hosts) + 1) in
+  let lats = Array.init nhosts (fun _ -> Array.make lat_cap 0) in
+  let nlat = Array.make nhosts 0 in
+  let verify_failures = Array.make nhosts 0 in
+  let retransmits = Array.make nhosts 0 in
+  let last_done = Array.make nhosts 0 in
+  let tmp = Array.init nhosts (fun _ -> Bytes.create 1500) in
+  let t0 = Fabric.now fab in
   (* Barrier: every connection is up well before the first data round. *)
   let data_t0 =
     t0 + (spec.connections * spec.connect_stagger_ns) + 5_000_000
@@ -177,20 +193,24 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
      never overlaps its predecessor on the same connection: a late
      response (retransmissions) just pushes the next round to "now". *)
   let period = spec.connections * spec.data_stagger_ns in
-  let start_round st c =
-    st.round_start <- Engine.now eng;
+  let start_round heng st c =
+    st.round_start <- Engine.now heng;
     match src.(st.host) with
     | Some r ->
       Tcp.write c ~addr:r.Memory.base ~len:spec.payload
         ~on_complete:(fun () -> ())
     | None -> assert false
   in
-  let start_conn st () =
-    let c, s =
-      Fabric.tcp_pair fab ~client:st.host ~server:0
+  (* The connection's two halves open as separate events, each on its
+     own host's shard: endpoint creation installs demux filters in that
+     host's kernel, so neither side may be built from the other's
+     domain. The server listens at the same instant the client's SYN
+     leaves — a full wire crossing before it can arrive. *)
+  let start_server st () =
+    let s =
+      Fabric.tcp_server fab ~client:st.host ~server:0
         ~client_port:(10_000 + st.k) ~server_port:(28_000 + st.k) ()
     in
-    st.c_end <- Some c;
     st.s_end <- Some s;
     Tcp.listen s;
     (* The server echoes each request straight back from the receive
@@ -203,61 +223,74 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
         Tcp.close s ~on_closed:(fun () ->
             st.s_closed <- true;
             let tcp_stats = Tcp.stats s in
-            retransmits := !retransmits + tcp_stats.Tcp.retransmits;
+            retransmits.(0) <- retransmits.(0) + tcp_stats.Tcp.retransmits;
             ignore
-              (Engine.schedule eng ~delay:0 (fun () ->
+              (Engine.schedule seng ~delay:0 (fun () ->
                    Tcp.teardown s;
-                   st.s_end <- None))));
+                   st.s_end <- None))))
+  in
+  let start_client st () =
+    let heng = Fabric.host_engine fab st.host in
+    let c =
+      Fabric.tcp_client fab ~client:st.host ~server:0
+        ~client_port:(10_000 + st.k) ~server_port:(28_000 + st.k) ()
+    in
+    st.c_end <- Some c;
     Tcp.set_reader c (fun ~addr ~len ->
         if spec.verify then begin
-          Memory.blit_to_bytes (node_mem st.host) ~src:addr ~dst:tmp
-            ~dst_off:0 ~len;
+          Memory.blit_to_bytes (node_mem st.host) ~src:addr
+            ~dst:tmp.(st.host) ~dst_off:0 ~len;
           for i = 0 to len - 1 do
-            if Bytes.get tmp i <> Bytes.get expected.(st.host) (st.got + i)
-            then incr verify_failures
+            if Bytes.get tmp.(st.host) i
+               <> Bytes.get expected.(st.host) (st.got + i)
+            then verify_failures.(st.host) <- verify_failures.(st.host) + 1
           done
         end;
         st.got <- st.got + len;
         if st.got >= spec.payload then begin
           st.got <- 0;
-          let lat = Engine.now eng - st.round_start in
-          lats.(!nlat) <- lat;
-          incr nlat;
+          let lat = Engine.now heng - st.round_start in
+          lats.(st.host).(nlat.(st.host)) <- lat;
+          nlat.(st.host) <- nlat.(st.host) + 1;
           st.lat_sum <- st.lat_sum + lat;
           st.lat_count <- st.lat_count + 1;
           st.round <- st.round + 1;
           if st.round < spec.rounds then begin
             st.next_at <- st.next_at + period;
             ignore
-              (Engine.schedule_at eng
-                 ~at:(max (Engine.now eng) st.next_at)
-                 (fun () -> start_round st c))
+              (Engine.schedule_at heng
+                 ~at:(max (Engine.now heng) st.next_at)
+                 (fun () -> start_round heng st c))
           end
           else
             Tcp.close c ~on_closed:(fun () ->
                 st.c_closed <- true;
-                last_done := max !last_done (Engine.now eng);
+                last_done.(st.host) <-
+                  max last_done.(st.host) (Engine.now heng);
                 let tcp_stats = Tcp.stats c in
-                retransmits := !retransmits + tcp_stats.Tcp.retransmits;
+                retransmits.(st.host) <-
+                  retransmits.(st.host) + tcp_stats.Tcp.retransmits;
                 ignore
-                  (Engine.schedule eng ~delay:0 (fun () ->
+                  (Engine.schedule heng ~delay:0 (fun () ->
                        Tcp.teardown c;
                        st.c_end <- None)))
         end);
     Tcp.connect c ~on_connected:(fun () ->
         st.next_at <- data_t0 + (st.k * spec.data_stagger_ns);
         ignore
-          (Engine.schedule_at eng
-             ~at:(max (Engine.now eng) st.next_at)
-             (fun () -> start_round st c)))
+          (Engine.schedule_at heng
+             ~at:(max (Engine.now heng) st.next_at)
+             (fun () -> start_round heng st c)))
   in
   Array.iter
     (fun st ->
+       let at = t0 + (st.k * spec.connect_stagger_ns) in
+       ignore (Engine.schedule_at seng ~at (start_server st));
        ignore
-         (Engine.schedule eng ~delay:(st.k * spec.connect_stagger_ns)
-            (start_conn st)))
+         (Engine.schedule_at (Fabric.host_engine fab st.host) ~at
+            (start_client st)))
     conns;
-  Engine.run_until eng (t0 + spec.deadline_ns);
+  Fabric.run_until fab (t0 + spec.deadline_ns);
   (* Force-release anything the deadline caught mid-handshake so the
      fabric quiesces and the leak accounting still balances. *)
   let stragglers = ref 0 in
@@ -286,9 +319,16 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
        leaked_regions :=
          !leaked_regions + Memory.region_count (node_mem h) - r0)
     baseline;
-  let sorted = Array.sub lats 0 !nlat in
+  let total_lats = Array.fold_left ( + ) 0 nlat in
+  let sorted = Array.make total_lats 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun h n ->
+       Array.blit lats.(h) 0 sorted !off n;
+       off := !off + n)
+    nlat;
   Array.sort compare sorted;
-  let makespan = max 1 (!last_done - data_t0) in
+  let makespan = max 1 (Array.fold_left max 0 last_done - data_t0) in
   let echoed_bytes =
     Array.fold_left (fun acc st -> acc + (st.lat_count * spec.payload)) 0
       conns
@@ -321,14 +361,14 @@ let run_churn ?(configure = fun (_ : Fabric.t) -> ()) spec =
     rtt_p50_us = Time.us_of_ns (percentile sorted 0.50);
     rtt_p99_us = Time.us_of_ns (percentile sorted 0.99);
     fairness_ratio;
-    verify_failures = !verify_failures;
+    verify_failures = Array.fold_left ( + ) 0 verify_failures;
     leaked_bindings = !leaked_bindings;
     leaked_filters = !leaked_filters;
     leaked_regions = !leaked_regions;
     demux_maint_units =
       Kernel.demux_maintenance_units (Fabric.host fab 0).Fabric.kernel;
     switch_drops = !switch_drops;
-    retransmits = !retransmits;
+    retransmits = Array.fold_left ( + ) 0 retransmits;
   }
 
 (* ------------------------------------------------------------------ *)

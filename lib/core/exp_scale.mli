@@ -19,12 +19,19 @@ type churn_spec = {
   data_stagger_ns : int;
   verify : bool;        (** Byte-verify every echoed payload. *)
   deadline_ns : int;    (** Virtual-time cap on the whole run. *)
+  shards : int;
+      (** Fabric shards: host [h] runs on shard [h mod shards], driver
+          events included. Results are identical at any shard count. *)
+  jobs : int;           (** Worker domains executing the shards. *)
 }
 
 val default_spec : churn_spec
 (** 64 connections over 8 client hosts, 4 rounds of 256-byte echoes,
     16-deep switch queues, 100 us connect / 250 us data stagger, no
-    byte verification, 60 virtual-second deadline. *)
+    byte verification, 60 virtual-second deadline. [shards]/[jobs]
+    default from the [ASH_SHARDS]/[ASH_JOBS] environment variables
+    (else 1/1), so the whole scale suite can be re-run sharded without
+    touching any test. *)
 
 type churn_result = {
   completed : int;

@@ -63,7 +63,7 @@ let pingpong_client ~state_addr =
   Builder.commit b;
   Builder.assemble b
 
-let remote_write_generic ~table_addr ~entries =
+let remote_write_generic ?(msg_off = 0) ~table_addr ~entries () =
   let b = Builder.create ~name:"remote-write-generic" () in
   let bad = Builder.fresh_label b in
   let seg = Builder.temp b
@@ -79,13 +79,16 @@ let remote_write_generic ~table_addr ~entries =
      has to be word-aligned and within the transfer limit. The header
      itself cannot be parsed before it is known to be present, so runts
      are rejected first — which is also the fact the download-time
-     analyzer consumes to discharge the three header-load checks. *)
-  Builder.li b bound 12;
+     analyzer consumes to discharge the three header-load checks.
+     [msg_off] shifts the whole request past any transport headers the
+     raw message retains (e.g. IP+UDP when the handler is bound to an
+     Ethernet DPF filter). *)
+  Builder.li b bound (msg_off + 12);
   Builder.bltu b Isa.reg_msg_len bound bad;
-  Builder.emit b (Isa.Ld32 (seg, Isa.reg_msg_addr, 0));
-  Builder.emit b (Isa.Ld32 (off, Isa.reg_msg_addr, 4));
-  Builder.emit b (Isa.Ld32 (size, Isa.reg_msg_addr, 8));
-  Builder.emit b (Isa.Addi (stop, size, 12));
+  Builder.emit b (Isa.Ld32 (seg, Isa.reg_msg_addr, msg_off));
+  Builder.emit b (Isa.Ld32 (off, Isa.reg_msg_addr, msg_off + 4));
+  Builder.emit b (Isa.Ld32 (size, Isa.reg_msg_addr, msg_off + 8));
+  Builder.emit b (Isa.Addi (stop, size, msg_off + 12));
   Builder.bltu b Isa.reg_msg_len stop bad;
   Builder.emit b (Isa.Andi (stop, size, 3));
   Builder.bne b stop Isa.reg_zero bad;
@@ -101,7 +104,7 @@ let remote_write_generic ~table_addr ~entries =
   Builder.emit b (Isa.Add (stop, off, size));
   Builder.bltu b limit stop bad;
   (* Copy the data through the trusted engine. *)
-  Builder.li b Isa.reg_arg0 12;
+  Builder.li b Isa.reg_arg0 (msg_off + 12);
   Builder.emit b (Isa.Add (Isa.reg_arg1, base, off));
   Builder.emit b (Isa.Mov (Isa.reg_arg2, size));
   Builder.call b Isa.K_copy;

@@ -26,12 +26,15 @@ val pingpong_client : state_addr:int -> Ash_vm.Program.t
     bounce the message back. *)
 
 val remote_write_generic :
-  table_addr:int -> entries:int -> Ash_vm.Program.t
+  ?msg_off:int -> table_addr:int -> entries:int -> unit -> Ash_vm.Program.t
 (** The generic remote write of §V-D, after Thekkath et al.: message is
-    [seg(4) | off(4) | size(4) | data]. The handler bounds-checks [seg]
-    against the translation table at [table_addr] (pairs of
-    [base, limit] words), validates [off + size <= limit], and copies
-    the data via the trusted engine. Aborts on any validation failure. *)
+    [seg(4) | off(4) | size(4) | data], starting [msg_off] bytes into
+    the raw message (default 0; pass 28 when the handler sees whole
+    IP+UDP frames off an Ethernet DPF binding). The handler
+    bounds-checks [seg] against the translation table at [table_addr]
+    (pairs of [base, limit] words), validates [off + size <= limit],
+    and copies the data via the trusted engine. Aborts on any
+    validation failure. *)
 
 val remote_write_specific : unit -> Ash_vm.Program.t
 (** The application-specific remote write of §V-D: trusted peers send

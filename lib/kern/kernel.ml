@@ -98,6 +98,9 @@ type t = {
   machine : Machine.t;
   kname : string;
   backend : Exec.backend;
+  absint_on : bool;
+  (* Snapshot of [absint_default] taken at creation: downloads on a
+     worker domain must not read the process-global knob. *)
   mutable demux : demux;
   mutable an2 : An2.t option;
   mutable eth : Ethernet.t option;
@@ -150,6 +153,13 @@ type t = {
      reintroduced per-operation scan over all bindings fails loudly. *)
 }
 
+(* Download-time static analysis is on unless an experiment (ashbench
+   --no-absint, the exp_ablate off-row) turns it off to measure the
+   fully checked sandbox. *)
+let absint_default = ref true
+
+let set_absint_default b = absint_default := b
+
 let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
     ?(notify_queue_limit = 256) engine costs ~name =
   if quarantine_threshold < 1 then invalid_arg "Kernel.create: threshold";
@@ -163,6 +173,7 @@ let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
     machine = Machine.create costs;
     kname = name;
     backend;
+    absint_on = !absint_default;
     demux;
     an2 = None;
     eth = None;
@@ -297,13 +308,6 @@ let default_allowed =
   Isa.[ K_msg_read8; K_msg_read16; K_msg_read32; K_msg_write32; K_copy;
         K_dilp; K_send; K_msg_len ]
 
-(* Download-time static analysis is on unless an experiment (ashbench
-   --no-absint, the exp_ablate off-row) turns it off to measure the
-   fully checked sandbox. *)
-let absint_default = ref true
-
-let set_absint_default b = absint_default := b
-
 let cache_key ~sandbox ~absint ~specialize_exit ~allowed_calls program =
   ( Program.digest program, sandbox, absint, specialize_exit,
     List.sort compare allowed_calls )
@@ -330,7 +334,7 @@ let emit_download ~id ~cache_hit ch =
 
 let download_ash t ?(sandbox = true) ?absint ?(specialize_exit = false)
     ?(hardwired = false) ?(allowed_calls = default_allowed) program =
-  let absint = match absint with Some b -> b | None -> !absint_default in
+  let absint = match absint with Some b -> b | None -> t.absint_on in
   let key = cache_key ~sandbox ~absint ~specialize_exit ~allowed_calls
       program in
   match Hashtbl.find_opt t.handler_cache key with

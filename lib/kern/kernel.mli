@@ -128,7 +128,9 @@ val attach_ethernet : t -> Ash_nic.Ethernet.t -> unit
 val set_absint_default : bool -> unit
 (** Default for [download_ash]'s [?absint] (initially [true]).
     [ashbench --no-absint] clears it to measure the fully checked
-    sandbox. *)
+    sandbox. Each kernel snapshots the value at {!create}, so the knob
+    is setup-time configuration — flipping it never races with
+    downloads running on shard domains. *)
 
 val download_ash :
   t ->

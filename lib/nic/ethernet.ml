@@ -25,6 +25,7 @@ type fabric_port = {
   f_ingress :
     src_mac:int -> dst_mac:int -> frame:Bytes.t -> crc_sent:int32 -> unit;
   f_link : Faulty_link.t; (* host -> switch direction *)
+  f_via : Engine.exec option; (* runs [f_ingress] on the switch's shard *)
 }
 
 type t = {
@@ -40,6 +41,7 @@ type t = {
   mutable fabric : fabric_port option;
   mutable mac : int;
   mutable route : (Bytes.t -> int option) option;
+  mutable rx_exec : Engine.exec option;
   mutable corrupt_next : bool;
   mutable tx_frames : int;
   mutable rx_frames : int;
@@ -70,6 +72,7 @@ let create engine machine =
     fabric = None;
     mac = broadcast_mac;
     route = None;
+    rx_exec = None;
     corrupt_next = false;
     tx_frames = 0;
     rx_frames = 0;
@@ -94,8 +97,10 @@ let connect a b =
 let set_mac t mac = t.mac <- mac land broadcast_mac
 let mac t = t.mac
 let set_route t f = t.route <- Some f
+let set_rx_exec t exec = t.rx_exec <- Some exec
+let rx_exec t = t.rx_exec
 
-let attach_fabric t ~ingress =
+let attach_fabric ?ingress_via t ~ingress =
   if t.peer <> None || t.fabric <> None then
     invalid_arg "Ethernet.attach_fabric: already connected";
   let costs = Machine.costs t.machine in
@@ -104,7 +109,7 @@ let attach_fabric t ~ingress =
       (Link.create t.engine ~fixed_ns:costs.Costs.eth_hw_oneway_ns
          ~ns_per_byte:costs.Costs.eth_ns_per_byte ())
   in
-  t.fabric <- Some { f_ingress = ingress; f_link = link }
+  t.fabric <- Some { f_ingress = ingress; f_link = link; f_via = ingress_via }
 
 let set_rx_handler t f = t.rx_handler <- f
 
@@ -144,7 +149,7 @@ let deliver_frame t ~payload ~crc_sent = deliver t ~payload ~crc_sent
 let transmit t payload =
   let len = Bytes.length payload in
   if len = 0 || len > t.mtu then invalid_arg "Ethernet.transmit: bad length";
-  let put_on_wire link handoff =
+  let put_on_wire ?deliver_via link handoff =
     t.tx_frames <- t.tx_frames + 1;
     if Trace.enabled () then
       Trace.emit (Trace.Pkt_tx { nic = "eth"; bytes = len });
@@ -159,7 +164,7 @@ let transmit t payload =
     (* Wire occupancy: preamble + header/CRC framing + padding to the
        64-byte minimum frame. *)
     let wire_bytes = max (len + 18) costs.Costs.eth_min_frame + 8 in
-    Faulty_link.transmit link ~wire_bytes ~frame (handoff crc_sent)
+    Faulty_link.transmit ?deliver_via link ~wire_bytes ~frame (handoff crc_sent)
   in
   match t.peer, t.tx_link, t.fabric with
   | Some peer, Some link, _ ->
@@ -172,7 +177,7 @@ let transmit t payload =
       | Some r -> (match r payload with Some m -> m | None -> broadcast_mac)
       | None -> broadcast_mac
     in
-    put_on_wire f.f_link (fun crc_sent payload ->
+    put_on_wire ?deliver_via:f.f_via f.f_link (fun crc_sent payload ->
         f.f_ingress ~src_mac:t.mac ~dst_mac ~frame:payload ~crc_sent)
   | _ -> failwith "Ethernet.transmit: not connected"
 

@@ -54,6 +54,7 @@ val set_route : t -> (Bytes.t -> int option) -> unit
     means broadcast. Unused in point-to-point mode. *)
 
 val attach_fabric :
+  ?ingress_via:Ash_sim.Engine.exec ->
   t ->
   ingress:(src_mac:int -> dst_mac:int -> frame:Bytes.t -> crc_sent:int32 ->
            unit) ->
@@ -61,8 +62,18 @@ val attach_fabric :
 (** Attach this NIC to a switch port: builds the host-to-switch wire
     (same rate model as {!connect}) and hands every transmitted frame,
     once it has fully crossed that wire, to [ingress] together with the
-    out-of-band addresses and the sender-computed CRC. Mutually
-    exclusive with {!connect}. Called by {!Switch.attach}. *)
+    out-of-band addresses and the sender-computed CRC. On a sharded
+    fabric [ingress_via] is the switch shard's executor, so ingress
+    runs where the switch state lives. Mutually exclusive with
+    {!connect}. Called by {!Switch.attach}. *)
+
+val set_rx_exec : t -> Ash_sim.Engine.exec -> unit
+(** Register the executor for this NIC's receive side. The switch uses
+    it as the [deliver_via] of the switch-to-host wire, so the frame's
+    DMA, CRC check, and driver upcall all run on the shard that owns
+    this NIC's kernel. *)
+
+val rx_exec : t -> Ash_sim.Engine.exec option
 
 val deliver_frame : t -> payload:Bytes.t -> crc_sent:int32 -> unit
 (** Egress entry used by the switch: DMA the frame into the receive

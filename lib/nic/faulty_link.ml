@@ -13,9 +13,11 @@ let set_plan t p = t.plan <- p
 let plan t = t.plan
 let busy_until t = Link.busy_until t.link
 
-let transmit t ~wire_bytes ~frame deliver =
+let transmit t ?deliver_via ~wire_bytes ~frame deliver =
   match t.plan with
-  | None -> Link.transmit t.link ~bytes:wire_bytes (fun () -> deliver frame)
+  | None ->
+    Link.transmit t.link ?deliver_via ~bytes:wire_bytes (fun () ->
+        deliver frame)
   | Some plan ->
     let copies, injected = Fault.apply plan ~frame in
     (match injected with
@@ -30,6 +32,6 @@ let transmit t ~wire_bytes ~frame deliver =
      | copies ->
        List.iter
          (fun (bytes', extra_delay_ns) ->
-            Link.transmit t.link ~extra_delay_ns ~bytes:wire_bytes (fun () ->
-                deliver bytes'))
+            Link.transmit t.link ?deliver_via ~extra_delay_ns ~bytes:wire_bytes
+              (fun () -> deliver bytes'))
          copies)

@@ -21,11 +21,19 @@ val set_plan : t -> Ash_sim.Fault.t option -> unit
 val plan : t -> Ash_sim.Fault.t option
 
 val transmit :
-  t -> wire_bytes:int -> frame:Bytes.t -> (Bytes.t -> unit) -> unit
+  t ->
+  ?deliver_via:Ash_sim.Engine.exec ->
+  wire_bytes:int ->
+  frame:Bytes.t ->
+  (Bytes.t -> unit) ->
+  unit
 (** [transmit t ~wire_bytes ~frame deliver]: put [frame] on the wire
     ([wire_bytes] is the occupancy charge, which may exceed the frame —
     Ethernet framing); [deliver] receives the bytes that actually
     arrive, possibly mutated, truncated, or twice. [frame] ownership
-    passes to the wrapper. *)
+    passes to the wrapper. The payload each copy delivers is computed
+    here, at transmit time, so [deliver_via] (see {!Link.transmit}) can
+    hand the arrival to another shard without touching source-shard
+    state. *)
 
 val busy_until : t -> Ash_sim.Time.ns

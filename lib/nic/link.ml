@@ -13,7 +13,7 @@ type t = {
 let create engine ?(pkt_occupancy_ns = 0) ~fixed_ns ~ns_per_byte () =
   { engine; fixed_ns; pkt_occupancy_ns; ns_per_byte; free_at = 0 }
 
-let transmit t ?(extra_delay_ns = 0) ~bytes deliver =
+let transmit t ?deliver_via ?(extra_delay_ns = 0) ~bytes deliver =
   let now = Engine.now t.engine in
   let start = max now t.free_at in
   let wire =
@@ -31,9 +31,17 @@ let transmit t ?(extra_delay_ns = 0) ~bytes deliver =
     Span.begin_span ~corr Trace.Wire
   end;
   let arrival = start + wire + t.fixed_ns + extra_delay_ns in
-  ignore
-    (Engine.schedule_at t.engine ~at:arrival (fun () ->
-         if Trace.enabled () then Span.end_span ~corr Trace.Wire;
-         deliver ()))
+  let arrive () =
+    if Trace.enabled () then Span.end_span ~corr Trace.Wire;
+    deliver ()
+  in
+  match deliver_via with
+  | None -> ignore (Engine.schedule_at t.engine ~at:arrival arrive)
+  | Some exec ->
+    (* Cross-shard delivery: the receive side runs on the destination
+       shard's engine. Posts capture the ambient correlation id just
+       like ordinary scheduling, so the wire span closes over there
+       under the frame's own id. *)
+    exec ~at:arrival arrive
 
 let busy_until t = t.free_at

@@ -20,11 +20,21 @@ val create :
     [fixed_ns] is pipelined latency added after the frame leaves the
     wire. *)
 
-val transmit : t -> ?extra_delay_ns:int -> bytes:int -> (unit -> unit) -> unit
+val transmit :
+  t ->
+  ?deliver_via:Ash_sim.Engine.exec ->
+  ?extra_delay_ns:int ->
+  bytes:int ->
+  (unit -> unit) ->
+  unit
 (** [transmit t ~bytes deliver] schedules [deliver] to run when the frame
     has crossed the wire. [extra_delay_ns] postpones delivery only — the
     wire occupancy window is unchanged — so the fault layer can model
-    reordering and jitter without affecting link utilization. *)
+    reordering and jitter without affecting link utilization.
+    [deliver_via] schedules the arrival through the given executor
+    instead of this link's own engine, so a sharded fabric can run the
+    receive side on the destination shard; the transmit-side state
+    (wire occupancy, trace emission) stays on the caller's shard. *)
 
 val busy_until : t -> Ash_sim.Time.ns
 (** When the wire frees up (for tests and utilization stats). *)

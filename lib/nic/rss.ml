@@ -1,0 +1,90 @@
+(* Receive-side scaling: a flow hash computed over the IP 5-tuple
+   steers each arriving frame to one of N receive rings, each owned by
+   one simulated core. The hash must be (a) stable — the same 5-tuple
+   always lands on the same ring, so per-flow state (TCP connections,
+   DSM sessions) never migrates — and (b) well-spread over random
+   flows so cores load-balance. FNV-1a over the canonical tuple bytes
+   gives both and is cheap enough for a per-frame software model.
+
+   Frames in this model carry no Ethernet header: offset 0 is the IP
+   (or ARP) payload, exactly what the DPF filters see. Non-IP frames
+   and IP fragments without a readable transport header hash on the
+   address pair alone; anything unparseable (ARP, runts) pins to ring
+   0, where the fabric keeps the ARP endpoint. *)
+
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+
+let fnv1a32 acc byte = (acc lxor (byte land 0xff)) * fnv_prime land 0xffffffff
+
+(* Raw FNV-1a mod 2^32 has weak low bits — bit 0 is nothing but the
+   parity of every input byte (the prime is odd), so structured flow
+   populations (say, client index correlated with port number) can all
+   land on even rings. A murmur3-style avalanche finalizer makes every
+   output bit depend on every input bit, which is what [mod rings]
+   needs. *)
+let fmix32 h =
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85ebca6b land 0xffffffff in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xc2b2ae35 land 0xffffffff in
+  h lxor (h lsr 16)
+
+type tuple = {
+  src_addr : int;
+  dst_addr : int;
+  proto : int;
+  src_port : int; (* -1 when the transport header is unreadable *)
+  dst_port : int;
+}
+
+let parse frame =
+  let len = Bytes.length frame in
+  if len < 20 then None
+  else
+    let b i = Char.code (Bytes.get frame i) in
+    let version = b 0 lsr 4 in
+    if version <> 4 then None
+    else begin
+      let ihl = (b 0 land 0xf) * 4 in
+      if ihl < 20 || len < ihl then None
+      else begin
+        let u32 i = (b i lsl 24) lor (b (i + 1) lsl 16) lor (b (i + 2) lsl 8)
+                    lor b (i + 3)
+        in
+        let u16 i = (b i lsl 8) lor b (i + 1) in
+        let proto = b 9 in
+        let src_addr = u32 12 and dst_addr = u32 16 in
+        let with_ports = (proto = 6 || proto = 17) && len >= ihl + 4 in
+        let src_port = if with_ports then u16 ihl else -1 in
+        let dst_port = if with_ports then u16 (ihl + 2) else -1 in
+        Some { src_addr; dst_addr; proto; src_port; dst_port }
+      end
+    end
+
+let hash_tuple t =
+  let acc = ref fnv_offset in
+  let word32 v =
+    acc := fnv1a32 !acc (v lsr 24);
+    acc := fnv1a32 !acc (v lsr 16);
+    acc := fnv1a32 !acc (v lsr 8);
+    acc := fnv1a32 !acc v
+  in
+  let word16 v =
+    acc := fnv1a32 !acc (v lsr 8);
+    acc := fnv1a32 !acc v
+  in
+  word32 t.src_addr;
+  word32 t.dst_addr;
+  acc := fnv1a32 !acc t.proto;
+  if t.src_port >= 0 then begin
+    word16 t.src_port;
+    word16 t.dst_port
+  end;
+  fmix32 !acc
+
+let hash frame = match parse frame with None -> 0 | Some t -> hash_tuple t
+
+let ring_index ~rings frame =
+  if rings < 1 then invalid_arg "Rss.ring_index: rings must be >= 1";
+  match parse frame with None -> 0 | Some t -> hash_tuple t mod rings

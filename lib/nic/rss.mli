@@ -1,0 +1,34 @@
+(** Receive-side scaling: flow hashing over the IP 5-tuple.
+
+    Steers each arriving frame to one of N receive rings so a
+    multi-core host can run one kernel shard per ring. Stability (one
+    5-tuple, one ring — per-flow state never migrates) and balance
+    (random flows spread evenly) are both tested properties; see
+    [test_rss.ml]. Frames carry no Ethernet header in this model, so
+    offset 0 is the IP or ARP payload. Non-IP and unparseable frames
+    pin to ring 0, where the fabric keeps its ARP endpoint. *)
+
+type tuple = {
+  src_addr : int;
+  dst_addr : int;
+  proto : int;
+  src_port : int;  (** [-1] when the transport header is unreadable. *)
+  dst_port : int;
+}
+
+val parse : Bytes.t -> tuple option
+(** The flow tuple of an IPv4 frame, ports included for TCP/UDP when
+    the transport header is present; [None] for non-IPv4 frames. *)
+
+val hash_tuple : tuple -> int
+(** The hash of an already-parsed tuple — lets senders predict which
+    ring will service a flow they are about to open. *)
+
+val hash : Bytes.t -> int
+(** 32-bit FNV-1a over the canonical tuple bytes, passed through an
+    avalanche finalizer so low bits are usable for [mod]; 0 for
+    non-IP. *)
+
+val ring_index : rings:int -> Bytes.t -> int
+(** [ring_index ~rings frame = hash frame mod rings] (ring 0 for
+    unparseable frames). Raises [Invalid_argument] if [rings < 1]. *)

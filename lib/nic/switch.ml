@@ -19,6 +19,7 @@ type stats = {
 type port = {
   pid : int;
   mutable nic : Ethernet.t option;
+  mutable rings : Ethernet.t array; (* RSS rings; [||] = single NIC *)
   mutable link : Faulty_link.t option; (* switch -> host direction *)
   queue : (Bytes.t * int32) Queue.t;   (* (frame, sender CRC) *)
   mutable pumping : bool;
@@ -33,6 +34,7 @@ type t = {
   queue_limit : int;
   ports : port array;
   mac_table : (int, int) Hashtbl.t;
+  mutable exec : Engine.exec option; (* this switch's shard executor *)
   mutable s_in : int;
   mutable s_fwd : int;
   mutable s_flood : int;
@@ -48,9 +50,11 @@ let create engine ?(queue_limit = 16) ~costs ~ports () =
     queue_limit;
     ports =
       Array.init ports (fun pid ->
-          { pid; nic = None; link = None; queue = Queue.create ();
-            pumping = false; s_enq = 0; s_drop = 0; s_peak = 0 });
+          { pid; nic = None; rings = [||]; link = None;
+            queue = Queue.create (); pumping = false; s_enq = 0; s_drop = 0;
+            s_peak = 0 });
     mac_table = Hashtbl.create 16;
+    exec = None;
     s_in = 0;
     s_fwd = 0;
     s_flood = 0;
@@ -76,9 +80,19 @@ let rec pump t p =
   | None -> p.pumping <- false
   | Some (frame, crc_sent) ->
     let link = match p.link with Some l -> l | None -> assert false in
-    let nic = match p.nic with Some n -> n | None -> assert false in
-    Faulty_link.transmit link ~wire_bytes:(wire_bytes t frame) ~frame
-      (fun payload -> Ethernet.deliver_frame nic ~payload ~crc_sent);
+    (* RSS steering is decided here, on the queued (pre-corruption)
+       frame: the flow hash picks the ring, so a frame the fault layer
+       damages in flight still lands — and is CRC-dropped — on the
+       ring its flow owns. *)
+    let nic =
+      if Array.length p.rings > 0 then
+        p.rings.(Rss.ring_index ~rings:(Array.length p.rings) frame)
+      else match p.nic with Some n -> n | None -> assert false
+    in
+    Faulty_link.transmit link
+      ?deliver_via:(Ethernet.rx_exec nic)
+      ~wire_bytes:(wire_bytes t frame) ~frame (fun payload ->
+        Ethernet.deliver_frame nic ~payload ~crc_sent);
     let at = Faulty_link.busy_until link in
     ignore (Engine.schedule_at t.engine ~at (fun () -> pump t p))
 
@@ -128,19 +142,44 @@ let ingress t ~in_port ~src_mac ~dst_mac ~frame ~crc_sent =
            enqueue t p ~frame:(Bytes.copy frame) ~crc_sent)
       t.ports
 
+let set_exec t exec = t.exec <- Some exec
+
+let make_port_link t =
+  Faulty_link.wrap ~nic:"switch"
+    (Link.create t.engine ~fixed_ns:t.costs.Costs.eth_hw_oneway_ns
+       ~ns_per_byte:t.costs.Costs.eth_ns_per_byte ())
+
 let attach t ~port nic =
   let p = check_port t port in
   (match p.nic with
    | Some _ -> invalid_arg "Switch.attach: port already attached"
    | None -> ());
   p.nic <- Some nic;
-  p.link <-
-    Some
-      (Faulty_link.wrap ~nic:"switch"
-         (Link.create t.engine ~fixed_ns:t.costs.Costs.eth_hw_oneway_ns
-            ~ns_per_byte:t.costs.Costs.eth_ns_per_byte ()));
-  Ethernet.attach_fabric nic ~ingress:(fun ~src_mac ~dst_mac ~frame ~crc_sent ->
+  p.link <- Some (make_port_link t);
+  Ethernet.attach_fabric ?ingress_via:t.exec nic
+    ~ingress:(fun ~src_mac ~dst_mac ~frame ~crc_sent ->
       ingress t ~in_port:port ~src_mac ~dst_mac ~frame ~crc_sent)
+
+let attach_rss t ~port rings =
+  let p = check_port t port in
+  (match p.nic with
+   | Some _ -> invalid_arg "Switch.attach_rss: port already attached"
+   | None -> ());
+  if Array.length rings < 1 then
+    invalid_arg "Switch.attach_rss: need at least one ring";
+  p.nic <- Some rings.(0);
+  p.rings <- Array.copy rings;
+  p.link <- Some (make_port_link t);
+  (* Every ring transmits up the same port: one shared ingress, one
+     switch-to-host wire on the way back down. Per-ring TX wires model
+     independent host DMA channels; the shared egress wire is where
+     switch-to-host PHY serialization happens. *)
+  Array.iter
+    (fun ring ->
+      Ethernet.attach_fabric ?ingress_via:t.exec ring
+        ~ingress:(fun ~src_mac ~dst_mac ~frame ~crc_sent ->
+          ingress t ~in_port:port ~src_mac ~dst_mac ~frame ~crc_sent))
+    rings
 
 let set_fault_plan t ~port plan =
   let p = check_port t port in

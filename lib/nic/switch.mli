@@ -52,6 +52,20 @@ val attach : t -> port:int -> Ethernet.t -> unit
     the switch as the NIC's fabric. Raises [Invalid_argument] if the
     port is out of range or already attached. *)
 
+val attach_rss : t -> port:int -> Ethernet.t array -> unit
+(** Wire a multi-queue host to a port: all rings share the port (and
+    its single switch-to-host wire), and each egressing frame is
+    steered to one ring by the {!Rss} flow hash — computed on the
+    queued, pre-corruption frame, so damaged frames still land on
+    their flow's ring. Each ring keeps its own host-to-switch TX wire
+    (independent DMA channels). Ring 0 is the port's nominal NIC
+    (unparseable frames, e.g. ARP, land there). *)
+
+val set_exec : t -> Ash_sim.Engine.exec -> unit
+(** Register the executor of the shard that owns this switch. Must be
+    called before {!attach}/{!attach_rss}: attached NICs use it to run
+    switch ingress on the switch's shard. *)
+
 val num_ports : t -> int
 
 val set_fault_plan : t -> port:int -> Ash_sim.Fault.t option -> unit

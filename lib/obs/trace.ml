@@ -111,38 +111,72 @@ type kind =
 type event = { seq : int; ts : int; corr : int; kind : kind }
 
 (* ---------------------------------------------------------------- *)
-(* Global emission point                                             *)
+(* Domain-local emission contexts                                    *)
 (* ---------------------------------------------------------------- *)
 
-(* Virtual-time source for event timestamps. The simulation engine
-   registers its clock on creation (last engine created wins); before
-   any engine exists events are stamped 0. *)
-let clock : (unit -> int) ref = ref (fun () -> 0)
-let set_clock f = clock := f
+(* All ambient trace state — clock, sink, enabled flag, correlation
+   allocator — lives in a per-domain emission context instead of
+   process globals, so engine shards running on separate OCaml domains
+   never race on it. The main domain's context is the "root":
+   recorders install there and it behaves exactly like the historical
+   global state. Shard contexts (see [shard_buf]) buffer stamped
+   events locally and allocate correlation ids from a strided sequence
+   (shard s of N hands out s+1, s+1+N, ...), so id assignment depends
+   only on the shard layout, never on how domains interleave. *)
+type ctx = {
+  mutable c_clock : unit -> int;
+  mutable c_sink : kind -> unit;
+  mutable c_sink_at : ts:int -> corr:int -> kind -> unit;
+  mutable c_on : bool;
+  c_corr_first : int;
+  c_corr_stride : int;
+  mutable c_corr_count : int; (* ids allocated from this context *)
+  mutable c_ambient : int;
+}
+
+let make_ctx ~first ~stride =
+  {
+    c_clock = (fun () -> 0);
+    c_sink = ignore;
+    c_sink_at = (fun ~ts:_ ~corr:_ _ -> ());
+    c_on = false;
+    c_corr_first = first;
+    c_corr_stride = stride;
+    c_corr_count = 0;
+    c_ambient = 0;
+  }
+
+let ctx_key : ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> make_ctx ~first:1 ~stride:1)
+
+let cur () = Domain.DLS.get ctx_key
+let set_clock f = (cur ()).c_clock <- f
 
 let swap_clock f =
-  let prev = !clock in
-  clock := f;
+  let c = cur () in
+  let prev = c.c_clock in
+  c.c_clock <- f;
   prev
 
-let now () = !clock ()
+let now () = (cur ()).c_clock ()
+let enabled () = (cur ()).c_on
+let emit k = (cur ()).c_sink k
 
-(* The sink is a single mutable function: when tracing is off, hot
-   paths pay one flag load (emission sites guard on [enabled] so the
-   event payload is never even allocated). *)
-let sink : (kind -> unit) ref = ref ignore
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-
-let emit k = !sink k
+let emit_at ~ts ~corr k =
+  let c = cur () in
+  c.c_sink_at ~ts ~corr k
 
 let set_sink f =
-  sink := f;
-  enabled_flag := true
+  let c = cur () in
+  c.c_sink <- f;
+  c.c_sink_at <- (fun ~ts:_ ~corr:_ k -> f k);
+  c.c_on <- true
 
 let clear_sink () =
-  sink := ignore;
-  enabled_flag := false
+  let c = cur () in
+  c.c_sink <- ignore;
+  c.c_sink_at <- (fun ~ts:_ ~corr:_ _ -> ());
+  c.c_on <- false
 
 (* ---------------------------------------------------------------- *)
 (* Correlation ids and span sampling                                 *)
@@ -154,28 +188,30 @@ let clear_sink () =
    event captures the ambient id and restores it around dispatch), and
    stamps every event emitted while handling the message. Id 0 means
    "no message in flight". *)
-let corr_counter = ref 0
-let ambient_corr = ref 0
 
 let new_corr () =
-  incr corr_counter;
-  !corr_counter
+  let c = cur () in
+  c.c_corr_count <- c.c_corr_count + 1;
+  c.c_corr_first + ((c.c_corr_count - 1) * c.c_corr_stride)
 
-let current_corr () = !ambient_corr
-let set_corr c = ambient_corr := c
+let current_corr () = (cur ()).c_ambient
+let set_corr v = (cur ()).c_ambient <- v
 
 let ensure_corr () =
-  if !ambient_corr = 0 then ambient_corr := new_corr ();
-  !ambient_corr
+  let c = cur () in
+  if c.c_ambient = 0 then c.c_ambient <- new_corr ();
+  c.c_ambient
 
-let with_corr c f =
-  let prev = !ambient_corr in
-  ambient_corr := c;
-  Fun.protect ~finally:(fun () -> ambient_corr := prev) f
+let with_corr v f =
+  let c = cur () in
+  let prev = c.c_ambient in
+  c.c_ambient <- v;
+  Fun.protect ~finally:(fun () -> c.c_ambient <- prev) f
 
 let reset_corr () =
-  corr_counter := 0;
-  ambient_corr := 0
+  let c = cur () in
+  c.c_corr_count <- 0;
+  c.c_ambient <- 0
 
 (* Span sampling: record every Nth message's spans. Counters and
    non-span events stay exact; only [Span_begin]/[Span_end] emission is
@@ -190,7 +226,73 @@ let set_span_sample n =
 let span_sample () = !span_sample_every
 
 let span_on corr =
-  !enabled_flag && corr > 0 && (corr - 1) mod !span_sample_every = 0
+  enabled () && corr > 0 && (corr - 1) mod !span_sample_every = 0
+
+(* ---------------------------------------------------------------- *)
+(* Shard buffers                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* A shard buffer is the emission context used while one engine shard
+   executes (possibly on a worker domain): events are stamped with the
+   shard's clock and ambient correlation id and appended to a local
+   growable array. At each epoch barrier the cluster merges all shard
+   buffers by (ts, shard index) and re-emits the events into the root
+   context with [emit_at], so the recorded stream is a deterministic
+   function of the simulation alone — independent of the domain
+   count. *)
+type stamped = { st_ts : int; st_corr : int; st_kind : kind }
+
+type shard_buf = {
+  sb_ctx : ctx;
+  mutable sb_items : stamped array;
+  mutable sb_len : int;
+}
+
+let dummy_stamped = { st_ts = 0; st_corr = 0; st_kind = Ev_fired }
+
+let shard_buf ~shard ~shards =
+  if shards < 1 || shard < 0 || shard >= shards then
+    invalid_arg "Trace.shard_buf: shard out of range";
+  let sb =
+    {
+      sb_ctx = make_ctx ~first:(shard + 1) ~stride:shards;
+      sb_items = Array.make 256 dummy_stamped;
+      sb_len = 0;
+    }
+  in
+  let push st =
+    if sb.sb_len = Array.length sb.sb_items then begin
+      let bigger = Array.make (2 * sb.sb_len) dummy_stamped in
+      Array.blit sb.sb_items 0 bigger 0 sb.sb_len;
+      sb.sb_items <- bigger
+    end;
+    sb.sb_items.(sb.sb_len) <- st;
+    sb.sb_len <- sb.sb_len + 1
+  in
+  let c = sb.sb_ctx in
+  c.c_sink <-
+    (fun k -> push { st_ts = c.c_clock (); st_corr = c.c_ambient; st_kind = k });
+  c.c_sink_at <-
+    (fun ~ts ~corr k -> push { st_ts = ts; st_corr = corr; st_kind = k });
+  sb
+
+let shard_set_clock sb f = sb.sb_ctx.c_clock <- f
+let shard_set_enabled sb on = sb.sb_ctx.c_on <- on
+
+let with_shard sb f =
+  let prev = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key sb.sb_ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key prev) f
+
+let shard_len sb = sb.sb_len
+
+let shard_get sb i =
+  let st = sb.sb_items.(i) in
+  (st.st_ts, st.st_corr, st.st_kind)
+
+let shard_clear sb =
+  if sb.sb_len > 0 then Array.fill sb.sb_items 0 sb.sb_len dummy_stamped;
+  sb.sb_len <- 0
 
 (* ---------------------------------------------------------------- *)
 (* Labels and structured fields (shared by text and JSON dumps)      *)
@@ -463,11 +565,16 @@ let record ?(capacity = default_capacity) () =
     }
   in
   let acct = account r.metrics in
-  set_sink (fun kind ->
-      let e = { seq = r.total; ts = now (); corr = current_corr (); kind } in
-      r.ring.(r.total mod r.cap) <- e;
-      r.total <- r.total + 1;
-      acct kind);
+  let log ~ts ~corr kind =
+    let e = { seq = r.total; ts; corr; kind } in
+    r.ring.(r.total mod r.cap) <- e;
+    r.total <- r.total + 1;
+    acct kind
+  in
+  let c = cur () in
+  c.c_sink <- (fun kind -> log ~ts:(c.c_clock ()) ~corr:c.c_ambient kind);
+  c.c_sink_at <- log;
+  c.c_on <- true;
   r
 
 let stop _r = clear_sink ()

@@ -122,10 +122,20 @@ type event = { seq : int; ts : int; corr : int; kind : kind }
 (** [corr] is the correlation id ambient when the event was emitted
     (0 when no message was in flight). *)
 
+(** {1 Emission contexts}
+
+    All ambient trace state — clock, sink, enabled flag, correlation
+    allocator — is domain-local (one emission context per OCaml
+    domain), so engine shards running on worker domains never race on
+    it. The main domain's context is the "root": recorders install
+    there, and on a single domain everything behaves exactly like the
+    historical process-global state. Shard execution swaps in a
+    {!shard_buf} context (see below). *)
+
 val set_clock : (unit -> int) -> unit
-(** Register the virtual-time source used to stamp events. The
-    simulation engine calls this on creation; the default clock
-    returns 0. *)
+(** Register the virtual-time source used to stamp events in the
+    current domain's context. The simulation engine calls this on
+    creation; the default clock returns 0. *)
 
 val swap_clock : (unit -> int) -> (unit -> int)
 (** Install a clock and return the previously installed one. The
@@ -144,6 +154,51 @@ val emit : kind -> unit
 
 val set_sink : (kind -> unit) -> unit
 val clear_sink : unit -> unit
+
+val emit_at : ts:int -> corr:int -> kind -> unit
+(** Deliver an already-stamped event to the current sink. Used by the
+    cluster's epoch barrier to inject merged shard events into the
+    root recorder with the timestamps and correlation ids they carried
+    on their home shard. With a plain {!set_sink} sink the stamps are
+    dropped (the sink only sees the kind). *)
+
+(** {1 Shard buffers}
+
+    A shard buffer is the emission context used while one engine shard
+    executes, possibly on a worker domain. Events are stamped with the
+    shard's clock and ambient correlation id and appended to a local
+    buffer; at each epoch barrier the cluster merges all shard buffers
+    in (ts, shard index) order and re-emits them into the root context
+    via {!emit_at}. Correlation ids are allocated from a strided
+    sequence — shard [s] of [N] hands out [s+1], [s+1+N], ... — so id
+    assignment depends only on the shard layout, never on domain
+    interleaving. *)
+
+type shard_buf
+
+val shard_buf : shard:int -> shards:int -> shard_buf
+(** A fresh shard context for shard [shard] of [shards]. Disabled and
+    clockless until configured. *)
+
+val shard_set_clock : shard_buf -> (unit -> int) -> unit
+(** Register the shard's virtual-time source (its engine's clock). *)
+
+val shard_set_enabled : shard_buf -> bool -> unit
+(** Propagate the root context's enabled flag into the shard context.
+    The cluster calls this at every epoch start, on the main domain,
+    so mid-run recorder changes take effect at the next barrier. *)
+
+val with_shard : shard_buf -> (unit -> 'a) -> 'a
+(** Run [f] with the current domain's emission context swapped to the
+    shard's, restoring the previous context on exit. *)
+
+val shard_len : shard_buf -> int
+(** Buffered events since the last {!shard_clear}. *)
+
+val shard_get : shard_buf -> int -> int * int * kind
+(** [shard_get sb i] is the [i]th buffered event as (ts, corr, kind). *)
+
+val shard_clear : shard_buf -> unit
 
 (** {1 Correlation ids}
 

@@ -161,3 +161,348 @@ let run_while t pred =
       while !continue && pred () do
         if not (step_unscoped t) then continue := false
       done)
+
+(* ---------------------------------------------------------------- *)
+(* Sharded execution                                                 *)
+(* ---------------------------------------------------------------- *)
+
+type exec = at:Time.ns -> (unit -> unit) -> unit
+
+let exec_of t : exec = fun ~at action -> ignore (schedule_at t ~at action)
+
+(* Run events with timestamps <= deadline but do NOT jump the clock to
+   the deadline afterwards: an epoch slice must leave the clock on the
+   last executed event, exactly as [run] would, so the epoch-driven
+   cluster produces the same final clocks as an unsharded run. *)
+let run_epoch t deadline =
+  with_clock t (fun () ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | Some e when e.time <= deadline ->
+          if not (step_unscoped t) then continue := false
+        | Some _ | None -> continue := false
+      done)
+
+(* Enqueue without emitting Ev_scheduled and with an explicit
+   correlation id: the epoch barrier uses this to transfer cross-shard
+   posts, whose Ev_scheduled was already emitted on the source shard at
+   post time. *)
+let schedule_quiet t ~at ~corr action =
+  let e = { time = at; seq = t.next_seq; corr; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap e
+
+(* Which shard the current domain is executing, if any. Cross-shard
+   posts consult this to tell "scheduling from inside shard s" apart
+   from "scheduling during setup on the main domain". *)
+let cur_shard_key : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_shard () = Domain.DLS.get cur_shard_key
+
+type engine = t
+
+let run_one = run
+let run_until_one = run_until
+
+module Cluster = struct
+  (* N per-shard engines advancing in lockstep through virtual-time
+     epochs [t_min, t_min + epoch_ns). Within an epoch every shard
+     executes only its own events (on its own domain when jobs > 1);
+     cross-shard work is posted into per-(src,dst) outboxes and only
+     transferred at the epoch barrier, in fixed src-major order, so the
+     heap contents — and therefore the whole simulation — are a pure
+     function of the inputs, whatever the domain count.
+
+     This is conservative parallel discrete-event simulation: it is
+     only correct when every cross-shard interaction carries at least
+     [epoch_ns] of virtual latency (here: the fabric's fixed one-way
+     wire latency), which [post] enforces with a lookahead check. *)
+
+  type post_cell = { p_at : Time.ns; p_corr : int; p_act : unit -> unit }
+
+  let dummy_cell = { p_at = 0; p_corr = 0; p_act = (fun () -> ()) }
+
+  type outbox = { mutable o_items : post_cell array; mutable o_len : int }
+
+  type t = {
+    engines : engine array;
+    bufs : Ash_obs.Trace.shard_buf array;
+    epoch_ns : Time.ns;
+    out : outbox array array; (* [src].[dst] *)
+    mutable epoch_end : Time.ns; (* cross-shard posts must land >= this *)
+    mutable running : bool;
+  }
+
+  let create ?(epoch_ns = 25_000) ~shards () =
+    if shards < 1 then invalid_arg "Engine.Cluster.create: shards must be >= 1";
+    if epoch_ns < 1 then
+      invalid_arg "Engine.Cluster.create: epoch_ns must be >= 1";
+    let engines = Array.init shards (fun _ -> create ()) in
+    let bufs =
+      Array.init shards (fun i -> Ash_obs.Trace.shard_buf ~shard:i ~shards)
+    in
+    Array.iteri
+      (fun i b ->
+        let e = engines.(i) in
+        Ash_obs.Trace.shard_set_clock b (fun () -> e.clock))
+      bufs;
+    let out =
+      Array.init shards (fun _ ->
+          Array.init shards (fun _ ->
+              { o_items = Array.make 16 dummy_cell; o_len = 0 }))
+    in
+    { engines; bufs; epoch_ns; out; epoch_end = 0; running = false }
+
+  let shards c = Array.length c.engines
+  let engine c i = c.engines.(i)
+  let epoch_ns c = c.epoch_ns
+
+  let now c =
+    Array.fold_left (fun acc e -> max acc e.clock) c.engines.(0).clock c.engines
+
+  let out_push ob cell =
+    if ob.o_len = Array.length ob.o_items then begin
+      let bigger = Array.make (2 * ob.o_len) dummy_cell in
+      Array.blit ob.o_items 0 bigger 0 ob.o_len;
+      ob.o_items <- bigger
+    end;
+    ob.o_items.(ob.o_len) <- cell;
+    ob.o_len <- ob.o_len + 1
+
+  let post c ~dst ~at action =
+    if dst < 0 || dst >= Array.length c.engines then
+      invalid_arg "Engine.Cluster.post: shard out of range";
+    match current_shard () with
+    | Some src when src <> dst && c.running ->
+      if at < c.epoch_end then
+        invalid_arg
+          "Engine.Cluster.post: cross-shard event lands inside the current \
+           epoch (lookahead violation)";
+      if Ash_obs.Trace.enabled () then
+        Ash_obs.Trace.emit (Ash_obs.Trace.Ev_scheduled { at });
+      let corr = Ash_obs.Trace.current_corr () in
+      out_push c.out.(src).(dst) { p_at = at; p_corr = corr; p_act = action }
+    | _ -> ignore (schedule_at c.engines.(dst) ~at action : event_id)
+
+  let exec c dst : exec =
+    if dst < 0 || dst >= Array.length c.engines then
+      invalid_arg "Engine.Cluster.exec: shard out of range";
+    fun ~at action -> post c ~dst ~at action
+
+  (* Merge all shard buffers into the root recorder in (ts, shard)
+     order, preserving each shard's append order. Runs on the main
+     domain at the barrier, so recorder sequence numbers and metric
+     accounting stay single-threaded and deterministic. *)
+  let flush_traces c =
+    let n = Array.length c.bufs in
+    let idx = Array.make n 0 in
+    let continue = ref true in
+    while !continue do
+      let best = ref (-1) in
+      let best_ts = ref max_int in
+      for s = 0 to n - 1 do
+        if idx.(s) < Ash_obs.Trace.shard_len c.bufs.(s) then begin
+          let ts, _, _ = Ash_obs.Trace.shard_get c.bufs.(s) idx.(s) in
+          if ts < !best_ts then begin
+            best_ts := ts;
+            best := s
+          end
+        end
+      done;
+      if !best < 0 then continue := false
+      else begin
+        let ts, corr, kind = Ash_obs.Trace.shard_get c.bufs.(!best) idx.(!best) in
+        idx.(!best) <- idx.(!best) + 1;
+        Ash_obs.Trace.emit_at ~ts ~corr kind
+      end
+    done;
+    Array.iter Ash_obs.Trace.shard_clear c.bufs
+
+  (* Transfer cross-shard posts into destination heaps in fixed
+     src-major order: destination sequence numbers are a function of
+     the posts alone, not of domain scheduling. *)
+  let drain_posts c =
+    let n = Array.length c.engines in
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        let ob = c.out.(src).(dst) in
+        for i = 0 to ob.o_len - 1 do
+          let cell = ob.o_items.(i) in
+          ob.o_items.(i) <- dummy_cell;
+          schedule_quiet c.engines.(dst) ~at:cell.p_at ~corr:cell.p_corr
+            cell.p_act
+        done;
+        ob.o_len <- 0
+      done
+    done
+
+  let next_time c =
+    let best = ref max_int in
+    Array.iter
+      (fun e ->
+        match Heap.peek e.heap with
+        | Some ev when ev.time < !best -> best := ev.time
+        | _ -> ())
+      c.engines;
+    if !best = max_int then None else Some !best
+
+  let run_slice c s ~deadline =
+    Ash_obs.Trace.with_shard c.bufs.(s) (fun () ->
+        Domain.DLS.set cur_shard_key (Some s);
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set cur_shard_key None)
+          (fun () -> run_epoch c.engines.(s) deadline))
+
+  let begin_epoch c tmin ~until =
+    let e_end = tmin + c.epoch_ns in
+    let deadline = min (e_end - 1) until in
+    c.epoch_end <- e_end;
+    let on = Ash_obs.Trace.enabled () in
+    Array.iter (fun b -> Ash_obs.Trace.shard_set_enabled b on) c.bufs;
+    deadline
+
+  let run_epochs_seq c ~until =
+    let continue = ref true in
+    while !continue do
+      match next_time c with
+      | None -> continue := false
+      | Some tmin when tmin > until -> continue := false
+      | Some tmin ->
+        let deadline = begin_epoch c tmin ~until in
+        for s = 0 to Array.length c.engines - 1 do
+          run_slice c s ~deadline
+        done;
+        flush_traces c;
+        drain_posts c
+    done
+
+  (* Persistent worker pool: shard s runs on worker (s mod jobs); the
+     main domain doubles as worker 0. A generation counter under a
+     mutex forms the epoch barrier and provides the happens-before
+     edges that publish each shard's mutations to whichever domain
+     reads them next. *)
+  type pool = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable gen : int;
+    mutable deadline : Time.ns;
+    mutable done_count : int;
+    mutable stop : bool;
+    mutable failure : exn option;
+  }
+
+  let run_epochs_par c ~jobs ~until =
+    let n = Array.length c.engines in
+    let p =
+      {
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        gen = 0;
+        deadline = 0;
+        done_count = 0;
+        stop = false;
+        failure = None;
+      }
+    in
+    let worker w () =
+      let seen = ref 0 in
+      let live = ref true in
+      while !live do
+        Mutex.lock p.mutex;
+        while p.gen = !seen && not p.stop do
+          Condition.wait p.cond p.mutex
+        done;
+        if p.stop then begin
+          Mutex.unlock p.mutex;
+          live := false
+        end
+        else begin
+          seen := p.gen;
+          let dl = p.deadline in
+          Mutex.unlock p.mutex;
+          (try
+             let s = ref w in
+             while !s < n do
+               run_slice c !s ~deadline:dl;
+               s := !s + jobs
+             done
+           with e ->
+             Mutex.lock p.mutex;
+             if p.failure = None then p.failure <- Some e;
+             Mutex.unlock p.mutex);
+          Mutex.lock p.mutex;
+          p.done_count <- p.done_count + 1;
+          Condition.broadcast p.cond;
+          Mutex.unlock p.mutex
+        end
+      done
+    in
+    let doms = Array.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    let finish () =
+      Mutex.lock p.mutex;
+      p.stop <- true;
+      Condition.broadcast p.cond;
+      Mutex.unlock p.mutex;
+      Array.iter Domain.join doms
+    in
+    Fun.protect ~finally:finish (fun () ->
+        let continue = ref true in
+        while !continue do
+          match next_time c with
+          | None -> continue := false
+          | Some tmin when tmin > until -> continue := false
+          | Some tmin ->
+            let deadline = begin_epoch c tmin ~until in
+            Mutex.lock p.mutex;
+            p.deadline <- deadline;
+            p.done_count <- 0;
+            p.gen <- p.gen + 1;
+            Condition.broadcast p.cond;
+            Mutex.unlock p.mutex;
+            let s = ref 0 in
+            while !s < n do
+              run_slice c !s ~deadline;
+              s := !s + jobs
+            done;
+            Mutex.lock p.mutex;
+            while p.done_count < jobs - 1 do
+              Condition.wait p.cond p.mutex
+            done;
+            Mutex.unlock p.mutex;
+            (match p.failure with
+            | Some e ->
+              p.failure <- None;
+              raise e
+            | None -> ());
+            flush_traces c;
+            drain_posts c
+        done)
+
+  let run_epochs c ~jobs ~until =
+    if c.running then invalid_arg "Engine.Cluster: already running";
+    let jobs = max 1 (min jobs (Array.length c.engines)) in
+    c.running <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        c.running <- false;
+        c.epoch_end <- 0)
+      (fun () ->
+        if jobs = 1 then run_epochs_seq c ~until
+        else run_epochs_par c ~jobs ~until)
+
+  let run ?(jobs = 1) c =
+    if Array.length c.engines = 1 then run_one c.engines.(0)
+    else run_epochs c ~jobs ~until:max_int
+
+  let run_until ?(jobs = 1) c deadline =
+    if Array.length c.engines = 1 then run_until_one c.engines.(0) deadline
+    else begin
+      run_epochs c ~jobs ~until:deadline;
+      (* All events <= deadline have fired; this only advances clocks
+         that stopped short, mirroring single-engine [run_until]. *)
+      Array.iter (fun e -> run_until_one e deadline) c.engines
+    end
+end

@@ -37,3 +37,71 @@ val run_while : t -> (unit -> bool) -> unit
 
 val pending : t -> int
 (** Number of scheduled, uncancelled events. *)
+
+(** {1 Sharded execution}
+
+    A {!Cluster} splits the simulation into N per-shard engines that
+    advance in lockstep through virtual-time epochs
+    [[t_min, t_min + epoch_ns)]. Within an epoch each shard executes
+    only its own events — on its own OCaml domain when [jobs > 1] —
+    and cross-shard work goes through {!Cluster.post}, which buffers
+    it in per-(src, dst) outboxes that the epoch barrier drains in
+    fixed src-major order. Shard trace events are buffered locally and
+    merged at the barrier in (ts, shard) order. The result: the whole
+    run — heap contents, trace stream, counters — is a pure function
+    of the inputs, byte-identical at any [jobs], including 1.
+
+    Correctness requires every cross-shard interaction to carry at
+    least [epoch_ns] of virtual latency (the fabric's fixed one-way
+    wire latency provides it); {!Cluster.post} enforces this with a
+    lookahead check. *)
+
+type exec = at:Time.ns -> (unit -> unit) -> unit
+(** An executor: schedule an action at absolute virtual time [at] on
+    some engine — either directly ({!exec_of}) or through a cluster's
+    cross-shard outboxes ({!Cluster.exec}). Posted actions cannot be
+    cancelled. *)
+
+val exec_of : t -> exec
+(** Schedule directly on [t]. *)
+
+val current_shard : unit -> int option
+(** The shard the calling domain is currently executing, or [None]
+    outside cluster epoch slices (e.g. during setup). *)
+
+type engine = t
+
+module Cluster : sig
+  type t
+
+  val create : ?epoch_ns:Time.ns -> shards:int -> unit -> t
+  (** [shards] engines sharing one epoch clock. [epoch_ns] (default
+      25_000) must not exceed the minimum cross-shard virtual latency
+      of the system being simulated. *)
+
+  val shards : t -> int
+  val engine : t -> int -> engine
+  val epoch_ns : t -> Time.ns
+
+  val now : t -> Time.ns
+  (** Max over shard clocks. *)
+
+  val post : t -> dst:int -> at:Time.ns -> (unit -> unit) -> unit
+  (** Schedule an action on shard [dst] at absolute time [at]. From
+      inside a different shard's slice this buffers into an outbox
+      (raising [Invalid_argument] if [at] lands inside the current
+      epoch); from shard [dst] itself, or outside any slice, it
+      schedules directly. *)
+
+  val exec : t -> int -> exec
+  (** [exec c s] posts to shard [s]. *)
+
+  val run : ?jobs:int -> t -> unit
+  (** Run epochs until every shard's queue drains, executing shard
+      slices on [min jobs shards] domains (default 1). The result is
+      independent of [jobs]. *)
+
+  val run_until : ?jobs:int -> t -> Time.ns -> unit
+  (** Like {!run} but only events with timestamps [<= deadline]; all
+      shard clocks end at the deadline at the latest. *)
+end

@@ -37,22 +37,42 @@ let digest p = p.digest
    program, so distinct kernels (each with its own per-kernel handler
    cache) still share one closure artifact per distinct program. Reset
    when it grows past [memo_cap] — property tests churn through
-   thousands of one-shot random programs. *)
+   thousands of one-shot random programs. Downloads can run on shard
+   domains (connection churn under a sharded fabric), so the shared
+   table is mutex-protected; compilation itself happens outside the
+   lock on a miss (a duplicate compile is harmless — both artifacts
+   are equivalent and one wins the table). *)
 let memo_cap = 1024
 let artifacts : (string, Compile.t) Hashtbl.t = Hashtbl.create 64
+let artifacts_mutex = Mutex.create ()
+
+let memo_find digest =
+  Mutex.lock artifacts_mutex;
+  let c = Hashtbl.find_opt artifacts digest in
+  Mutex.unlock artifacts_mutex;
+  c
+
+let memo_add digest c =
+  Mutex.lock artifacts_mutex;
+  let c =
+    match Hashtbl.find_opt artifacts digest with
+    | Some existing -> existing
+    | None ->
+      if Hashtbl.length artifacts >= memo_cap then Hashtbl.reset artifacts;
+      Hashtbl.add artifacts digest c;
+      c
+  in
+  Mutex.unlock artifacts_mutex;
+  c
 
 let compiled p =
   match p.compiled with
   | Some c -> c
   | None ->
     let c =
-      match Hashtbl.find_opt artifacts p.digest with
+      match memo_find p.digest with
       | Some c -> c
-      | None ->
-        if Hashtbl.length artifacts >= memo_cap then Hashtbl.reset artifacts;
-        let c = Compile.compile p.program in
-        Hashtbl.add artifacts p.digest c;
-        c
+      | None -> memo_add p.digest (Compile.compile p.program)
     in
     p.compiled <- Some c;
     c

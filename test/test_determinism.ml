@@ -126,6 +126,70 @@ let test_fabric_churn_deterministic () =
   Alcotest.(check bool) "counters identical" true
     (Metrics.counters (Trace.metrics r1) = Metrics.counters (Trace.metrics r2))
 
+(* ------------------------------------------------------------------ *)
+(* The sharded fabric on worker domains                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The shard count is structure (it changes which engine owns which
+   host); the job count is pure execution mapping. So with the shard
+   count fixed, running the same churn on 1, 2 or 4 worker domains must
+   produce byte-identical trace streams — same kinds, same virtual
+   timestamps, same merge order — identical counters, and an identical
+   result record. This is the property that lets CI run every suite at
+   any [--jobs] and diff the streams. *)
+let sharded_scenario ~jobs () =
+  let r = Trace.record ~capacity:65536 () in
+  let result =
+    Exp_scale.run_churn
+      { Exp_scale.default_spec with
+        connections = 12;
+        client_hosts = 6;
+        rounds = 2;
+        verify = true;
+        shards = 4;
+        jobs }
+  in
+  Trace.stop r;
+  (r, result)
+
+let check_streams_identical (r1, res1) (r2, res2) =
+  Alcotest.(check bool) "results identical" true (res1 = res2);
+  Alcotest.(check int) "stream lengths" (Trace.total r1) (Trace.total r2);
+  List.iteri
+    (fun i ((ts1, k1), (ts2, k2)) ->
+       if ts1 <> ts2 || k1 <> k2 then
+         Alcotest.failf "event %d diverged: [%d] %a vs [%d] %a" i ts1
+           Trace.pp_kind k1 ts2 Trace.pp_kind k2)
+    (List.combine (stream r1) (stream r2));
+  Alcotest.(check bool) "counters identical" true
+    (Metrics.counters (Trace.metrics r1) = Metrics.counters (Trace.metrics r2))
+
+let test_jobs_invariant () =
+  let j1 = sharded_scenario ~jobs:1 () in
+  let j2 = sharded_scenario ~jobs:2 () in
+  let j4 = sharded_scenario ~jobs:4 () in
+  Alcotest.(check bool) "stream non-trivial" true (Trace.total (fst j1) > 200);
+  check_streams_identical j1 j2;
+  check_streams_identical j1 j4
+
+let test_shards_preserve_result () =
+  (* Cross-shard arrivals ride the wire latency, which exceeds the
+     epoch, so sharding never moves a virtual timestamp: the churn
+     result record is identical to the unsharded run. *)
+  let spec =
+    { Exp_scale.default_spec with
+      connections = 12;
+      client_hosts = 6;
+      rounds = 2;
+      verify = true }
+  in
+  let r1 = Exp_scale.run_churn { spec with shards = 1 } in
+  let r4 = Exp_scale.run_churn { spec with shards = 4 } in
+  let r7 = Exp_scale.run_churn { spec with shards = 7; jobs = 3 } in
+  Alcotest.(check bool) "completed" true (r1.Exp_scale.completed = 12);
+  Alcotest.(check bool) "4 shards = unsharded" true (r1 = r4);
+  Alcotest.(check bool) "7 shards, 3 domains = unsharded" true (r1 = r7)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -142,5 +206,12 @@ let () =
         [
           Alcotest.test_case "churn run, same stream twice" `Quick
             test_fabric_churn_deterministic;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "byte-identical at jobs=1/2/4" `Quick
+            test_jobs_invariant;
+          Alcotest.test_case "shard count preserves the result" `Quick
+            test_shards_preserve_result;
         ] );
     ]

@@ -475,6 +475,51 @@ let test_round_trip_sampling_halves_spans () =
     (Metrics.counter (Trace.metrics full) "ash.dispatch")
     (Metrics.counter (Trace.metrics sampled) "ash.dispatch")
 
+(* ------------------------------------------------------------------ *)
+(* Shard buffers: per-domain emission contexts                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Events emitted inside [with_shard] must land in that shard's buffer
+   only — not in the root recorder, not in another shard's buffer — and
+   keep their own shard's clock stamps. This is the isolation the
+   cluster's epoch merge depends on. *)
+let test_shard_buffers_isolated () =
+  let r = Trace.record () in
+  let sb0 = Trace.shard_buf ~shard:0 ~shards:2 in
+  let sb1 = Trace.shard_buf ~shard:1 ~shards:2 in
+  Trace.shard_set_clock sb0 (fun () -> 100);
+  Trace.shard_set_clock sb1 (fun () -> 200);
+  Trace.shard_set_enabled sb0 true;
+  Trace.shard_set_enabled sb1 true;
+  Trace.with_shard sb0 (fun () ->
+      Trace.emit (Trace.Mark "zero");
+      Trace.emit Trace.Ev_fired);
+  Trace.with_shard sb1 (fun () -> Trace.emit (Trace.Mark "one"));
+  Alcotest.(check int) "root recorder saw nothing" 0 (Trace.total r);
+  Alcotest.(check int) "shard 0 buffered its two" 2 (Trace.shard_len sb0);
+  Alcotest.(check int) "shard 1 buffered its one" 1 (Trace.shard_len sb1);
+  let ts0, _, k0 = Trace.shard_get sb0 0 in
+  let ts1, _, k1 = Trace.shard_get sb1 0 in
+  Alcotest.(check int) "shard 0 clock stamp" 100 ts0;
+  Alcotest.(check int) "shard 1 clock stamp" 200 ts1;
+  Alcotest.(check bool) "payloads kept" true
+    (k0 = Trace.Mark "zero" && k1 = Trace.Mark "one");
+  (* Outside with_shard the root context is back. *)
+  Trace.emit (Trace.Mark "root");
+  Alcotest.(check int) "root context restored" 1 (Trace.total r);
+  Trace.stop r
+
+(* Strided correlation ids: shard s of N allocates s+1, s+1+N, ... so
+   id assignment is a function of the shard layout alone. *)
+let test_shard_corr_strided () =
+  let sb0 = Trace.shard_buf ~shard:0 ~shards:2 in
+  let sb1 = Trace.shard_buf ~shard:1 ~shards:2 in
+  let ids sb n =
+    Trace.with_shard sb (fun () -> List.init n (fun _ -> Trace.new_corr ()))
+  in
+  Alcotest.(check (list int)) "shard 0 stride" [ 1; 3; 5 ] (ids sb0 3);
+  Alcotest.(check (list int)) "shard 1 stride" [ 2; 4; 6 ] (ids sb1 3)
+
 let () =
   Alcotest.run "ash_obs"
     [
@@ -528,5 +573,12 @@ let () =
             (isolated test_round_trip_attribution);
           Alcotest.test_case "sampling halves spans" `Quick
             (isolated test_round_trip_sampling_halves_spans);
+        ] );
+      ( "shard-buf",
+        [
+          Alcotest.test_case "contexts isolated" `Quick
+            (isolated test_shard_buffers_isolated);
+          Alcotest.test_case "strided correlation ids" `Quick
+            (isolated test_shard_corr_strided);
         ] );
     ]

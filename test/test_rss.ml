@@ -1,0 +1,210 @@
+(* RSS flow hashing: the three properties the multi-queue server rests
+   on. Balance — random flow populations spread evenly over the rings
+   (no ring more than 2x its fair share). Stability — one 5-tuple, one
+   ring, always, whether hashed from the parsed tuple or the raw frame,
+   so per-flow state never migrates between cores. Ownership — on a
+   sharded fabric every frame is demuxed on the ring the hash predicts
+   and nowhere else, which {!Ash_core.Dsm_mc} makes observable: a write
+   landing on its segment's owner core commits in that core's kernel,
+   any other ring forwards it, and the commit/forward totals must match
+   the prediction exactly. *)
+
+module Rss = Ash_nic.Rss
+module Fabric = Ash_core.Fabric
+module Dsm_mc = Ash_core.Dsm_mc
+module Packet = Ash_proto.Packet
+module Rng = Ash_util.Rng
+module Bytesx = Ash_util.Bytesx
+
+let random_tuple rng =
+  {
+    Rss.src_addr = Rng.int rng 0x4000_0000;
+    dst_addr = Rng.int rng 0x4000_0000;
+    proto = (if Rng.int rng 2 = 0 then 6 else 17);
+    src_port = Rng.int rng 65_536;
+    dst_port = Rng.int rng 65_536;
+  }
+
+let test_balance () =
+  let rng = Rng.create 7 in
+  let flows = Array.init 1_000 (fun _ -> random_tuple rng) in
+  List.iter
+    (fun rings ->
+      let per = Array.make rings 0 in
+      Array.iter
+        (fun t ->
+          let r = Rss.hash_tuple t mod rings in
+          per.(r) <- per.(r) + 1)
+        flows;
+      let fair = Array.length flows / rings in
+      Array.iteri
+        (fun r n ->
+          if n > 2 * fair then
+            Alcotest.failf "rings=%d: ring %d got %d flows (fair share %d)"
+              rings r n fair;
+          if n = 0 then Alcotest.failf "rings=%d: ring %d got nothing" rings r)
+        per)
+    [ 2; 3; 4; 8 ]
+
+(* The flow population the multicore experiment actually generates —
+   sequential ports correlated with a small client set — must spread
+   too; this is the case a weak hash collapses (see the finalizer note
+   in rss.ml). *)
+let test_balance_structured () =
+  List.iter
+    (fun rings ->
+      let per = Array.make rings 0 in
+      for g = 0 to 31 do
+        let t =
+          {
+            Rss.src_addr = 0x0a000002 + (g mod 8);
+            dst_addr = 0x0a000001;
+            proto = 17;
+            src_port = 20_000 + g;
+            dst_port = 7_777;
+          }
+        in
+        per.(Rss.hash_tuple t mod rings) <- per.(Rss.hash_tuple t mod rings) + 1
+      done;
+      let fair = 32 / rings in
+      Array.iteri
+        (fun r n ->
+          if n > 2 * fair then
+            Alcotest.failf
+              "structured flows, rings=%d: ring %d got %d (fair %d)" rings r n
+              fair)
+        per)
+    [ 2; 4 ]
+
+let frame_of t payload =
+  let total = Packet.ip_header_len + Packet.udp_header_len + payload in
+  let frame = Bytes.create total in
+  Packet.Ip.write frame ~off:0
+    {
+      Packet.Ip.src = t.Rss.src_addr;
+      dst = t.Rss.dst_addr;
+      proto = t.Rss.proto;
+      total_len = total;
+      ttl = 64;
+      id = 1;
+    };
+  Packet.Udp.write frame ~off:Packet.ip_header_len
+    {
+      Packet.Udp.src_port = t.Rss.src_port;
+      dst_port = t.Rss.dst_port;
+      length = Packet.udp_header_len + payload;
+      checksum = 0;
+    };
+  frame
+
+let test_stability () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 200 do
+    let t = { (random_tuple rng) with proto = 17 } in
+    let h = Rss.hash_tuple t in
+    Alcotest.(check int) "tuple hash repeats" h (Rss.hash_tuple t);
+    (* The raw-frame path must agree with the parsed-tuple path. *)
+    let f = frame_of t 16 in
+    Alcotest.(check int) "frame hash = tuple hash" h (Rss.hash f);
+    Alcotest.(check int)
+      "ring_index = hash mod rings" (h mod 4)
+      (Rss.ring_index ~rings:4 f)
+  done
+
+let test_parse_round_trip () =
+  let t =
+    {
+      Rss.src_addr = 0x0a000003;
+      dst_addr = 0x0a000001;
+      proto = 17;
+      src_port = 12_345;
+      dst_port = 80;
+    }
+  in
+  match Rss.parse (frame_of t 8) with
+  | Some t' -> Alcotest.(check bool) "tuple round-trips" true (t = t')
+  | None -> Alcotest.fail "parse failed"
+
+(* ------------------------------------------------------------------ *)
+(* Per-ring ownership on a live sharded fabric                         *)
+(* ------------------------------------------------------------------ *)
+
+(* 4 clients write random segments through a 4-core server. For each
+   write we know the ring the hash will pick and the segment's owner;
+   the fabric must agree: owner-ring writes commit in-kernel (and only
+   those), the rest abort voluntarily and are forwarded, every forward
+   is applied, and the bytes land. *)
+let ownership_run ~jobs =
+  let fab =
+    Fabric.create ~shards:4 ~jobs ~server_cores:4 ~hosts:5 ()
+  in
+  Fabric.warm_arp fab ~server:0;
+  let dsm = Dsm_mc.create ~segments:8 ~segment_size:256 fab in
+  Alcotest.(check int) "four cores" 4 (Dsm_mc.ncores dsm);
+  let rng = Rng.create 23 in
+  let expect_commit = ref 0 and expect_fwd = ref 0 in
+  (* Byte-level shadow of every segment, updated in send order; the
+     stagger (below) exceeds the epoch, so forwarded writes apply in
+     send order too and the shadow is the exact expected image. *)
+  let shadow = Array.init 8 (fun _ -> Bytes.make 256 '\000') in
+  let t0 = Fabric.now fab in
+  for i = 0 to 63 do
+    let client = 1 + Rng.int rng 4 in
+    let sport = 30_000 + (i mod 11) in
+    let seg = Rng.int rng 8 in
+    let off = 4 * Rng.int rng 32 in
+    let data = Bytes.make 8 (Char.chr (Char.code 'a' + (i mod 26))) in
+    Bytesx.set_u32 data 0 i;
+    let ring = Dsm_mc.ring_of dsm ~client ~sport in
+    let owner = Dsm_mc.owner dsm ~seg in
+    if ring = owner then incr expect_commit else incr expect_fwd;
+    (* Min-frame serialization toward host 0 is ~58 us; keep the
+       offered rate under line rate so nothing queues up and drops. *)
+    Dsm_mc.write_at dsm ~client ~sport
+      ~at:(t0 + 1_000 + (i * 100_000))
+      ~seg ~off ~data;
+    Bytes.blit data 0 shadow.(seg) off (Bytes.length data)
+  done;
+  Fabric.run_for fab 20_000_000;
+  Alcotest.(check int)
+    "in-kernel commits = writes that hit the owner ring" !expect_commit
+    (Dsm_mc.committed_in_kernel dsm);
+  Alcotest.(check int) "forwards = writes that missed" !expect_fwd
+    (Dsm_mc.forwards dsm);
+  Alcotest.(check int) "every forward applied" !expect_fwd
+    (Dsm_mc.applied_forwards dsm);
+  Alcotest.(check bool) "both paths exercised" true
+    (!expect_commit > 0 && !expect_fwd > 0);
+  for seg = 0 to 7 do
+    let got = Dsm_mc.read_seg dsm ~seg ~off:0 ~len:256 in
+    if got <> shadow.(seg) then
+      Alcotest.failf "seg %d contents diverge from the shadow image" seg
+  done;
+  (!expect_commit, !expect_fwd)
+
+let test_ownership () = ignore (ownership_run ~jobs:1)
+
+let test_ownership_jobs_invariant () =
+  let a = ownership_run ~jobs:1 in
+  let b = ownership_run ~jobs:4 in
+  Alcotest.(check bool) "same commit/forward split at jobs=4" true (a = b)
+
+let () =
+  Alcotest.run "rss"
+    [
+      ( "hash",
+        [
+          Alcotest.test_case "random flows balance" `Quick test_balance;
+          Alcotest.test_case "structured flows balance" `Quick
+            test_balance_structured;
+          Alcotest.test_case "stable per 5-tuple" `Quick test_stability;
+          Alcotest.test_case "parse round-trip" `Quick test_parse_round_trip;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "per-ring ownership, 4-core server" `Quick
+            test_ownership;
+          Alcotest.test_case "split invariant under jobs" `Quick
+            test_ownership_jobs_invariant;
+        ] );
+    ]

@@ -270,6 +270,40 @@ let test_trie_stress_4096_vs_oracle () =
   Alcotest.(check (option int)) "reinstalled filter matches" (oracle pkt)
     (Dpf_trie.find trie pkt)
 
+(* ------------------------------------------------------------------ *)
+(* Multicore goodput                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Exp_multicore = Ash_core.Exp_multicore
+
+(* The headline scaling claim: a fixed offered load that saturates one
+   simulated server core must recover at least 1.8x the goodput when
+   the RSS hash spreads the same flows over 4 per-core kernels. A short
+   window keeps this quick; goodput is virtual-time, so the numbers are
+   exact, not noisy. *)
+let test_multicore_scaling () =
+  let spec = { Exp_multicore.default_mc with window_ns = 100_000_000 } in
+  let r1 = Exp_multicore.run_mc { spec with cores = 1 } in
+  let r4 = Exp_multicore.run_mc { spec with cores = 4 } in
+  Alcotest.(check bool) "1-core server saturates" true
+    (r1.Exp_multicore.goodput_rps < 0.5 *. r1.Exp_multicore.offered_rps);
+  let ratio = r4.Exp_multicore.goodput_rps /. r1.Exp_multicore.goodput_rps in
+  if ratio < 1.8 then
+    Alcotest.failf "4-core goodput only %.2fx of 1-core (need >= 1.8)" ratio;
+  Alcotest.(check int) "all four rings took flows" 0
+    (Array.fold_left
+       (fun acc n -> if n = 0 then acc + 1 else acc)
+       0 r4.Exp_multicore.ring_flows)
+
+let test_multicore_jobs_invariant () =
+  let spec =
+    { Exp_multicore.default_mc with cores = 4; window_ns = 50_000_000 }
+  in
+  let a = Exp_multicore.run_mc { spec with jobs = 1 } in
+  let b = Exp_multicore.run_mc { spec with jobs = 4 } in
+  Alcotest.(check int) "same reply count at jobs=4"
+    a.Exp_multicore.replies_counted b.Exp_multicore.replies_counted
+
 (* A non-port packet must miss everything, trie and oracle alike. *)
 let test_trie_miss_is_miss () =
   let trie = Dpf_trie.create () in
@@ -310,5 +344,12 @@ let () =
           Alcotest.test_case "4096 install/remove vs oracle" `Quick
             test_trie_stress_4096_vs_oracle;
           Alcotest.test_case "miss is a miss" `Quick test_trie_miss_is_miss;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "4-core goodput >= 1.8x" `Quick
+            test_multicore_scaling;
+          Alcotest.test_case "goodput invariant under jobs" `Quick
+            test_multicore_jobs_invariant;
         ] );
     ]
