@@ -236,6 +236,53 @@ let run_tracer_overhead () =
     ratio;
   Some (off_ns, counters_ns, spans_ns)
 
+(* -- Telemetry overhead: sampling scheduler on vs off ------------------ *)
+
+(* Host wall-clock cost of the time-series sampler, measured on the
+   table6 TCP kernel (the handler-heaviest networked workload). "off" is
+   the kernel with no ambient Timeseries; "sampled" installs one at the
+   default grid pitch so every engine step pays the tick check and each
+   crossed grid point snapshots every registered source. The acceptance
+   bar is sampled <= 1.10x off. *)
+let telemetry_overhead_kernel () =
+  ignore
+    (Lab.tcp_latency
+       ~mode:(Tcp.Fast_ash { sandbox = true })
+       ~checksum:true ~iters:16 ())
+
+let run_telemetry_overhead () =
+  let reps = 20 in
+  let timed f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
+  in
+  let sampled () =
+    let ts = Ash_obs.Timeseries.create () in
+    Ash_obs.Timeseries.set_current ts;
+    let ns = timed telemetry_overhead_kernel in
+    Ash_obs.Timeseries.clear_current ();
+    ns
+  in
+  telemetry_overhead_kernel (); (* warm up *)
+  let off_ns = ref infinity in
+  let sampled_ns = ref infinity in
+  for _ = 1 to 5 do
+    off_ns := min !off_ns (timed telemetry_overhead_kernel);
+    sampled_ns := min !sampled_ns (sampled ())
+  done;
+  let off_ns = !off_ns and sampled_ns = !sampled_ns in
+  let ratio = sampled_ns /. off_ns in
+  Format.printf
+    "@.=== Telemetry overhead (host wall time per run, table6 kernel) ===@.";
+  Format.printf "  %-32s %10.0f ns@." "sampling off" off_ns;
+  Format.printf "  %-32s %10.0f ns   x%.2f vs off@." "sampling on" sampled_ns
+    ratio;
+  Some (off_ns, sampled_ns)
+
 (* -- BENCH_results.json ------------------------------------------------ *)
 
 let json_escape s =
@@ -270,7 +317,8 @@ let env_int name default =
   | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
   | None -> default
 
-let write_results_json ~path ~backend ~tables ~bechamel ~backends ~tracer =
+let write_results_json ~path ~backend ~tables ~bechamel ~backends ~tracer
+    ~telemetry =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -324,13 +372,21 @@ let write_results_json ~path ~backend ~tables ~bechamel ~backends ~tracer =
     backends;
   add "  },\n";
   (match tracer with
-   | None -> add "  \"tracer_overhead_ns_per_run\": null\n"
+   | None -> add "  \"tracer_overhead_ns_per_run\": null,\n"
    | Some (off_ns, counters_ns, spans_ns) ->
      add
        "  \"tracer_overhead_ns_per_run\": {\"off\": %s, \"counters\": %s, \
-        \"spans\": %s, \"spans_over_off\": %s}\n"
+        \"spans\": %s, \"spans_over_off\": %s},\n"
        (json_float off_ns) (json_float counters_ns) (json_float spans_ns)
        (json_float (spans_ns /. off_ns)));
+  (match telemetry with
+   | None -> add "  \"telemetry_overhead_ns_per_run\": null\n"
+   | Some (off_ns, sampled_ns) ->
+     add
+       "  \"telemetry_overhead_ns_per_run\": {\"off\": %s, \"sampled\": %s, \
+        \"sampled_over_off\": %s}\n"
+       (json_float off_ns) (json_float sampled_ns)
+       (json_float (sampled_ns /. off_ns)));
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -399,6 +455,17 @@ let () =
   let bechamel = if no_bechamel then [] else run_bechamel () in
   let backends = if no_bechamel then [] else run_backend_comparison () in
   let tracer = if no_bechamel then None else run_tracer_overhead () in
-  if not no_json then
+  let telemetry = if no_bechamel then None else run_telemetry_overhead () in
+  if not no_json then begin
     write_results_json ~path:"BENCH_results.json" ~backend ~tables ~bechamel
-      ~backends ~tracer
+      ~backends ~tracer ~telemetry;
+    (* Fold the headline metrics into the revision-keyed history so
+       `ashbench regress` has a baseline to compare future runs against. *)
+    let entry =
+      Ash_bench.History.append ~results_path:"BENCH_results.json"
+        ~history_path:"BENCH_history.json"
+    in
+    Format.printf "history entry recorded for %s (%d metric(s))@."
+      entry.Ash_bench.History.e_rev
+      (List.length entry.Ash_bench.History.e_metrics)
+  end

@@ -108,6 +108,35 @@ let run_cmd =
                  handler download emits the full naive check set \
                  (measures what the abstract interpreter saves).")
   in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Sample registered gauges/rate counters on the engine \
+                 clock while the experiments run and write the \
+                 time-series export as JSON to $(docv). The stream is \
+                 deterministic: same seed and shard count, same bytes, \
+                 at any $(b,--jobs).")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+           ~doc:"Like $(b,--telemetry) but write Prometheus exposition \
+                 text (final counter totals and last gauge samples) to \
+                 $(docv).")
+  in
+  let no_flight =
+    Arg.(value & flag
+         & info [ "no-flight" ]
+           ~doc:"Do not arm the black-box flight recorder (armed by \
+                 default; anomaly dumps are written on exit when any \
+                 trigger fired).")
+  in
+  let flight_dump =
+    Arg.(value & opt string "flight-dump"
+         & info [ "flight-dump" ] ~docv:"PREFIX"
+           ~doc:"Write anomaly dumps to $(docv)-<n>.json (default \
+                 $(b,flight-dump)).")
+  in
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "jobs"; "j" ] ~docv:"N"
@@ -119,7 +148,7 @@ let run_cmd =
                  any $(b,--jobs).")
   in
   let run markdown trace trace_json profile trace_sample trace_chrome
-      no_absint jobs ids =
+      no_absint telemetry prom no_flight flight_dump jobs ids =
     if no_absint then Ash_kern.Kernel.set_absint_default false;
     (match jobs with
      | None -> ()
@@ -149,6 +178,19 @@ let run_cmd =
       exit 2
     end;
     Ash_obs.Trace.set_span_sample trace_sample;
+    (* Telemetry must be ambient before any experiment constructs its
+       fabric: layers register their sources at creation time. *)
+    let ts =
+      if telemetry <> None || prom <> None then begin
+        let ts = Ash_obs.Timeseries.create () in
+        Ash_obs.Timeseries.set_current ts;
+        Some ts
+      end
+      else None
+    in
+    let flight =
+      if no_flight then None else Some (Ash_obs.Flight.arm ())
+    in
     let recorder =
       if trace || trace_json || profile || trace_chrome <> None then
         Some (Ash_obs.Trace.record ())
@@ -160,6 +202,39 @@ let run_cmd =
          Format.printf "%a" Report.print table;
          if markdown then print_string (Report.to_markdown table))
       selected;
+    (match ts with
+     | None -> ()
+     | Some ts ->
+       (* meta stays jobs-free: the export must be byte-identical for a
+          given seed and shard count at any --jobs. *)
+       let meta =
+         [ ("shards",
+            match Sys.getenv_opt "ASH_SHARDS" with Some s -> s | None -> "1")
+         ]
+       in
+       let write file s =
+         let oc = open_out file in
+         output_string oc s;
+         close_out oc;
+         Printf.eprintf "wrote telemetry to %s\n" file
+       in
+       (match telemetry with
+        | Some file -> write file (Ash_obs.Timeseries.to_json ~meta ts)
+        | None -> ());
+       (match prom with
+        | Some file -> write file (Ash_obs.Timeseries.to_prometheus ts)
+        | None -> ());
+       Ash_obs.Timeseries.clear_current ());
+    (match flight with
+     | None -> ()
+     | Some f ->
+       if Ash_obs.Flight.dump_count f > 0 then begin
+         let paths = Ash_obs.Flight.write_dumps f ~prefix:flight_dump in
+         Printf.eprintf "flight recorder fired %d time(s); wrote %s\n"
+           (Ash_obs.Flight.dump_count f)
+           (String.concat ", " paths)
+       end;
+       Ash_obs.Flight.disarm f);
     match recorder with
     | None -> ()
     | Some r ->
@@ -173,7 +248,20 @@ let run_cmd =
        | None -> ()
        | Some file ->
          let oc = open_out file in
-         output_string oc (Ash_obs.Dump.to_chrome_json r);
+         let shards =
+           match Sys.getenv_opt "ASH_SHARDS" with
+           | Some s -> (match int_of_string_opt s with Some n -> n | None -> 1)
+           | None -> 1
+         in
+         let jobs_n =
+           match Sys.getenv_opt "ASH_JOBS" with
+           | Some s -> (match int_of_string_opt s with Some n -> n | None -> 1)
+           | None -> 1
+         in
+         output_string oc
+           (Ash_obs.Dump.to_chrome_json ~shards ~jobs:jobs_n
+              ~host_cores:(Domain.recommended_domain_count ())
+              r);
          output_char oc '\n';
          close_out oc;
          Printf.eprintf "wrote chrome trace to %s\n" file)
@@ -181,7 +269,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run $ markdown $ trace $ trace_json $ profile $ trace_sample
-          $ trace_chrome $ no_absint $ jobs $ ids)
+          $ trace_chrome $ no_absint $ telemetry $ prom $ no_flight
+          $ flight_dump $ jobs $ ids)
 
 (* Shared by inspect/assemble: source, download-time fact table, then
    the sandboxed code with the elision summary. *)
@@ -358,6 +447,194 @@ let lint_cmd =
     (Cmd.info "lint" ~doc)
     Term.(const run $ max_residual $ require_bound $ paths_arg)
 
+(* -- top: after-the-fact interval table over a telemetry export ------- *)
+
+let top_cmd =
+  let module J = Ash_util.Minijson in
+  let doc =
+    "Print a per-interval table from a telemetry JSON export (written \
+     by $(b,run --telemetry)): one row per sampling-grid point, one \
+     column per metric — rates show the per-interval delta, gauges the \
+     sampled value."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let last =
+    Arg.(value & opt int 24
+         & info [ "last" ] ~docv:"N"
+           ~doc:"Show only the most recent $(docv) intervals (default \
+                 24; 0 means all).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"SUBSTR"
+           ~doc:"Only metrics whose name contains $(docv) (comma-\
+                 separated alternatives).")
+  in
+  let max_cols = 8 in
+  let run file last metrics =
+    let doc =
+      try J.parse_file file
+      with J.Parse_error { pos; msg } ->
+        Printf.eprintf "%s: parse error at %d: %s\n" file pos msg;
+        exit 1
+    in
+    let series =
+      match Option.bind (J.mem "series" doc) J.to_list with
+      | Some l -> l
+      | None ->
+        Printf.eprintf "%s: not a telemetry export (no \"series\")\n" file;
+        exit 1
+    in
+    let name_of s =
+      match Option.bind (J.mem "name" s) J.to_string with
+      | Some n -> n
+      | None -> "?"
+    in
+    let wanted =
+      match metrics with
+      | None -> fun _ -> true
+      | Some pats ->
+        let pats = String.split_on_char ',' pats in
+        fun n ->
+          List.exists
+            (fun p ->
+               let p = String.trim p in
+               p <> ""
+               && (let pl = String.length p and nl = String.length n in
+                   let rec at i =
+                     i + pl <= nl
+                     && (String.sub n i pl = p || at (i + 1))
+                   in
+                   at 0))
+            pats
+    in
+    let selected = List.filter (fun s -> wanted (name_of s)) series in
+    let shown, dropped =
+      let rec take n = function
+        | [] -> ([], [])
+        | l when n = 0 -> ([], l)
+        | x :: rest ->
+          let a, b = take (n - 1) rest in
+          (x :: a, b)
+      in
+      take max_cols selected
+    in
+    if shown = [] then begin
+      Printf.eprintf "no matching series\n";
+      exit 1
+    end;
+    if dropped <> [] then
+      Printf.eprintf
+        "showing %d of %d matching metrics; narrow with --metrics\n"
+        max_cols (List.length selected);
+    (* Collect each shown series' samples as ts -> value, and the union
+       of grid timestamps. *)
+    let cols =
+      List.map
+        (fun s ->
+           let tbl = Hashtbl.create 64 in
+           (match Option.bind (J.mem "samples" s) J.to_list with
+            | Some samples ->
+              List.iter
+                (fun sample ->
+                   match J.to_list sample with
+                   | Some [ ts; v ] ->
+                     (match (J.to_float ts, J.to_float v) with
+                      | Some ts, Some v ->
+                        Hashtbl.replace tbl (int_of_float ts) v
+                      | _ -> ())
+                   | _ -> ())
+                samples
+            | None -> ());
+           (name_of s, tbl))
+        shown
+    in
+    let grid =
+      List.concat_map
+        (fun (_, tbl) -> Hashtbl.fold (fun ts _ acc -> ts :: acc) tbl [])
+        cols
+      |> List.sort_uniq compare
+    in
+    let grid =
+      if last <= 0 then grid
+      else begin
+        let n = List.length grid in
+        if n <= last then grid
+        else List.filteri (fun i _ -> i >= n - last) grid
+      end
+    in
+    (* Header: metric names truncated to the column width, tail-first
+       (the tail of a dotted metric name is the discriminating part). *)
+    let width = 12 in
+    let trunc n =
+      let l = String.length n in
+      if l <= width then n else ".." ^ String.sub n (l - width + 2) (width - 2)
+    in
+    Printf.printf "%12s" "t(us)";
+    List.iter (fun (n, _) -> Printf.printf " %*s" width (trunc n)) cols;
+    print_newline ();
+    List.iter
+      (fun ts ->
+         Printf.printf "%12.1f" (float_of_int ts /. 1e3);
+         List.iter
+           (fun (_, tbl) ->
+              match Hashtbl.find_opt tbl ts with
+              | Some v ->
+                if Float.is_integer v && Float.abs v < 1e12 then
+                  Printf.printf " %*.0f" width v
+                else Printf.printf " %*.4g" width v
+              | None -> Printf.printf " %*s" width "-")
+           cols;
+         print_newline ())
+      grid
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ file_arg $ last $ metrics)
+
+(* -- regress: compare BENCH_results.json against the recorded history - *)
+
+let regress_cmd =
+  let doc =
+    "Compare the headline benchmark metrics in a results file against \
+     the recorded baseline in the history file, with per-metric \
+     tolerance bands. Virtual-time metrics outside their band fail \
+     (exit 1); host wall-clock metrics warn unless $(b,--strict-host)."
+  in
+  let results =
+    Arg.(value & opt string "BENCH_results.json"
+         & info [ "results" ] ~docv:"FILE"
+           ~doc:"Results file to check (default BENCH_results.json).")
+  in
+  let history =
+    Arg.(value & opt string "BENCH_history.json"
+         & info [ "history" ] ~docv:"FILE"
+           ~doc:"History file with baseline entries (default \
+                 BENCH_history.json).")
+  in
+  let strict_host =
+    Arg.(value & flag
+         & info [ "strict-host" ]
+           ~doc:"Also fail on host wall-clock metrics outside their \
+                 band (off by default: host numbers move with the \
+                 machine).")
+  in
+  let run results history strict_host =
+    match
+      Ash_bench.History.regress ~strict_host ~results_path:results
+        ~history_path:history ()
+    with
+    | Error msg ->
+      Format.eprintf "regress: %s@." msg;
+      exit 1
+    | Ok report ->
+      Format.printf "%a" Ash_bench.History.print_report report;
+      if not report.Ash_bench.History.r_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "regress" ~doc)
+    Term.(const run $ results $ history $ strict_host)
+
 let () =
   let doc = "ASHs reproduction experiment driver" in
   let info = Cmd.info "ashbench" ~version:"1.0.0" ~doc in
@@ -365,4 +642,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; inspect_cmd; assemble_cmd; chaos_cmd;
-            lint_cmd ]))
+            lint_cmd; top_cmd; regress_cmd ]))

@@ -165,6 +165,27 @@ let create ?(port = 9_000) ~segments ~segment_size fab =
             end
           end))
     cores;
+  (* Telemetry: cross-core DSM progress — in-kernel commits across all
+     owner cores, plus the forward/apply split of foreign-segment
+     writes. *)
+  (match Ash_obs.Timeseries.current () with
+   | None -> ()
+   | Some ts ->
+     Ash_obs.Timeseries.register_rate ts "dsm.commits" (fun () ->
+         (* committed_in_kernel, inlined (defined below create) *)
+         let sum = ref 0 in
+         Array.iteri
+           (fun c (core : Fabric.core) ->
+             sum :=
+               !sum
+               + (Kernel.stats core.Fabric.core_kernel).Kernel.ash_committed
+               - t.base_commits.(c))
+           t.cores;
+         !sum);
+     Ash_obs.Timeseries.register_rate ts "dsm.forwards" (fun () ->
+         Array.fold_left ( + ) 0 t.forwarded);
+     Ash_obs.Timeseries.register_rate ts "dsm.applied_forwards" (fun () ->
+         Array.fold_left ( + ) 0 t.applied));
   t
 
 let ring_of t ~client ~sport =

@@ -96,6 +96,17 @@ let create ?(costs = Costs.decstation) ?(queue_limit = 16)
       e
   in
   let cluster = Engine.Cluster.create ~epoch_ns ~shards () in
+  (* Telemetry: per-shard event backlog — the load-balance view of a
+     sharded run (all shards sampled together at the epoch barrier). *)
+  (match Ash_obs.Timeseries.current () with
+   | None -> ()
+   | Some ts ->
+     for s = 0 to shards - 1 do
+       let e = Engine.Cluster.engine cluster s in
+       Ash_obs.Timeseries.register_gauge ts
+         (Printf.sprintf "engine.shard%d.pending" s)
+         (fun () -> float_of_int (Engine.pending e))
+     done);
   let shard_engine s = Engine.Cluster.engine cluster s in
   let shard_exec s =
     if shards > 1 then Some (Engine.Cluster.exec cluster s) else None

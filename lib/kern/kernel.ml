@@ -167,7 +167,8 @@ let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
   let backend =
     match backend with Some b -> b | None -> Exec.default ()
   in
-  {
+  let t =
+    {
     engine;
     costs;
     machine = Machine.create costs;
@@ -210,7 +211,33 @@ let create ?backend ?(demux = Demux_trie) ?(quarantine_threshold = 3)
     s_user = 0;
     s_tx = 0;
     s_demux_maint = 0;
-  }
+    }
+  in
+  (* Telemetry sources, when an ambient timeseries is installed. Rates
+     read cumulative stats (the sampler takes deltas); gauges read
+     instantaneous backlog. Registration is last-wins per name, so a
+     kernel re-created under the same name continues its series. *)
+  (match Ash_obs.Timeseries.current () with
+   | None -> ()
+   | Some ts ->
+     let pre = "kern." ^ name ^ "." in
+     Ash_obs.Timeseries.register_rate ts (pre ^ "dispatch") (fun () ->
+         t.s_rx_delivered);
+     Ash_obs.Timeseries.register_rate ts (pre ^ "commits") (fun () ->
+         t.s_ash_committed);
+     Ash_obs.Timeseries.register_rate ts (pre ^ "aborts") (fun () ->
+         t.s_ash_vol);
+     Ash_obs.Timeseries.register_rate ts (pre ^ "cache_hits") (fun () ->
+         t.cache_hits);
+     Ash_obs.Timeseries.register_rate ts (pre ^ "drops") (fun () ->
+         t.s_rx_dropped_unbound + t.s_rx_dropped_crc + t.s_rx_dropped_queue);
+     Ash_obs.Timeseries.register_gauge ts (pre ^ "busy_ns") (fun () ->
+         float_of_int (max 0 (t.horizon - Engine.now t.engine)));
+     Ash_obs.Timeseries.register_gauge ts (pre ^ "notify_occupancy")
+       (fun () ->
+         float_of_int
+           (Hashtbl.fold (fun _ b acc -> acc + b.inflight_notify) t.bindings 0)));
+  t
 
 let engine t = t.engine
 let machine t = t.machine

@@ -44,22 +44,39 @@ type t = {
 let create engine ?(queue_limit = 16) ~costs ~ports () =
   if ports < 1 then invalid_arg "Switch.create: need at least one port";
   if queue_limit < 1 then invalid_arg "Switch.create: queue limit";
-  {
-    engine;
-    costs;
-    queue_limit;
-    ports =
-      Array.init ports (fun pid ->
-          { pid; nic = None; rings = [||]; link = None;
-            queue = Queue.create (); pumping = false; s_enq = 0; s_drop = 0;
-            s_peak = 0 });
-    mac_table = Hashtbl.create 16;
-    exec = None;
-    s_in = 0;
-    s_fwd = 0;
-    s_flood = 0;
-    s_filtered = 0;
-  }
+  let t =
+    {
+      engine;
+      costs;
+      queue_limit;
+      ports =
+        Array.init ports (fun pid ->
+            { pid; nic = None; rings = [||]; link = None;
+              queue = Queue.create (); pumping = false; s_enq = 0; s_drop = 0;
+              s_peak = 0 });
+      mac_table = Hashtbl.create 16;
+      exec = None;
+      s_in = 0;
+      s_fwd = 0;
+      s_flood = 0;
+      s_filtered = 0;
+    }
+  in
+  (* Telemetry: aggregate egress-queue depth (the congestion signal),
+     tail drops and forwards. One switch per fabric, so the names are
+     unqualified. *)
+  (match Ash_obs.Timeseries.current () with
+   | None -> ()
+   | Some ts ->
+     Ash_obs.Timeseries.register_gauge ts "switch.qdepth" (fun () ->
+         float_of_int
+           (Array.fold_left (fun acc p -> acc + Queue.length p.queue) 0
+              t.ports));
+     Ash_obs.Timeseries.register_rate ts "switch.drops" (fun () ->
+         Array.fold_left (fun acc p -> acc + p.s_drop) 0 t.ports);
+     Ash_obs.Timeseries.register_rate ts "switch.forwarded" (fun () ->
+         t.s_fwd + t.s_flood));
+  t
 
 let num_ports t = Array.length t.ports
 

@@ -119,7 +119,7 @@ let to_json r =
    the reply span opens while the proto span is still open on another
    track. Non-span events with a correlation id become instants on
    tid 0. Timestamps are span-clock microseconds. *)
-let to_chrome_json r =
+let to_chrome_json ?(shards = 1) ?(jobs = 1) ?host_cores r =
   let events = Trace.events r in
   let intervals = Span.intervals events in
   let stage_tid stage =
@@ -160,10 +160,23 @@ let to_chrome_json r =
   in
   List.iter
     (fun pid ->
+      (* Strided correlation allocation (shard s of N hands out s+1,
+         s+1+N, ...) makes a message's home shard recoverable from its
+         id alone. *)
+      let name =
+        if shards > 1 then
+          Printf.sprintf "message %d [shard %d/%d, jobs %d%s]" pid
+            ((pid - 1) mod shards)
+            shards jobs
+            (match host_cores with
+             | None -> ""
+             | Some c -> Printf.sprintf ", cores %d" c)
+        else Printf.sprintf "message %d" pid
+      in
       add 0
         (Printf.sprintf
-           "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"ts\":0,\"name\":\"process_name\",\"args\":{\"name\":\"message %d\"}}"
-           pid pid))
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"ts\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+           pid (json_escape name)))
     pids;
   List.iter
     (fun ((pid, tid), name) ->

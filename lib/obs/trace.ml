@@ -95,6 +95,7 @@ type kind =
   | Dilp_run of { name : string; len : int }
   | Tcp_fast_hit
   | Tcp_fast_miss
+  | Tcp_retransmit of { how : string; seq : int }
   | Ash_download of {
       id : int;
       cache_hit : bool;
@@ -128,26 +129,34 @@ type ctx = {
   mutable c_sink : kind -> unit;
   mutable c_sink_at : ts:int -> corr:int -> kind -> unit;
   mutable c_on : bool;
+  c_is_root : bool; (* taps run here; false for shard buffers *)
   c_corr_first : int;
   c_corr_stride : int;
   mutable c_corr_count : int; (* ids allocated from this context *)
   mutable c_ambient : int;
 }
 
-let make_ctx ~first ~stride =
+let make_ctx ~first ~stride ~root =
   {
     c_clock = (fun () -> 0);
     c_sink = ignore;
     c_sink_at = (fun ~ts:_ ~corr:_ _ -> ());
     c_on = false;
+    c_is_root = root;
     c_corr_first = first;
     c_corr_stride = stride;
     c_corr_count = 0;
     c_ambient = 0;
   }
 
+(* The root context lives on the main domain only: a worker domain's
+   default context is non-root, so taps (a main-domain-only mutable
+   list) are never touched from a worker. Shard events still reach the
+   taps — the cluster's barrier merge re-emits them into the root
+   context via [emit_at]. *)
 let ctx_key : ctx Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> make_ctx ~first:1 ~stride:1)
+  Domain.DLS.new_key (fun () ->
+    make_ctx ~first:1 ~stride:1 ~root:(Domain.is_main_domain ()))
 
 let cur () = Domain.DLS.get ctx_key
 let set_clock f = (cur ()).c_clock <- f
@@ -159,12 +168,46 @@ let swap_clock f =
   prev
 
 let now () = (cur ()).c_clock ()
-let enabled () = (cur ()).c_on
-let emit k = (cur ()).c_sink k
+
+(* ---------------------------------------------------------------- *)
+(* Taps                                                              *)
+(* ---------------------------------------------------------------- *)
+
+(* A tap is a lightweight secondary consumer of the root event stream
+   (the flight recorder). Taps live beside the recorder sink: they see
+   every event the root context emits — including shard events merged
+   in at epoch barriers — whether or not a recorder is installed, so a
+   black-box recorder can stay armed while [record]/[stop] come and
+   go. Main-domain only: only root contexts dispatch to taps. *)
+type tap_id = int
+
+let taps : (tap_id * (ts:int -> corr:int -> kind -> unit)) list ref = ref []
+let tap_seq = ref 0
+
+let add_tap f =
+  Stdlib.incr tap_seq;
+  taps := !taps @ [ (!tap_seq, f) ];
+  !tap_seq
+
+let remove_tap id = taps := List.filter (fun (i, _) -> i <> id) !taps
+let run_taps ~ts ~corr k = List.iter (fun (_, f) -> f ~ts ~corr k) !taps
+
+(* Emission sites use [enabled] to skip event construction entirely;
+   an armed tap makes the stream live even without a recorder. *)
+let enabled () =
+  let c = cur () in
+  c.c_on || (c.c_is_root && !taps != [])
+
+let emit k =
+  let c = cur () in
+  c.c_sink k;
+  if c.c_is_root && !taps != [] then
+    run_taps ~ts:(c.c_clock ()) ~corr:c.c_ambient k
 
 let emit_at ~ts ~corr k =
   let c = cur () in
-  c.c_sink_at ~ts ~corr k
+  c.c_sink_at ~ts ~corr k;
+  if c.c_is_root && !taps != [] then run_taps ~ts ~corr k
 
 let set_sink f =
   let c = cur () in
@@ -255,7 +298,7 @@ let shard_buf ~shard ~shards =
     invalid_arg "Trace.shard_buf: shard out of range";
   let sb =
     {
-      sb_ctx = make_ctx ~first:(shard + 1) ~stride:shards;
+      sb_ctx = make_ctx ~first:(shard + 1) ~stride:shards ~root:false;
       sb_items = Array.make 256 dummy_stamped;
       sb_len = 0;
     }
@@ -320,6 +363,7 @@ let label = function
   | Dilp_run _ -> "dilp.run"
   | Tcp_fast_hit -> "tcp.fast.hit"
   | Tcp_fast_miss -> "tcp.fast.miss"
+  | Tcp_retransmit _ -> "tcp.retransmit"
   | Ash_download _ -> "ash.download"
   | Fault_injected _ -> "fault.injected"
   | Ash_quarantine _ -> "ash.quarantine"
@@ -359,6 +403,8 @@ let fields = function
   | Dilp_run { name; len } ->
     [ ("name", name); ("len", string_of_int len) ]
   | Tcp_fast_hit | Tcp_fast_miss -> []
+  | Tcp_retransmit { how; seq } ->
+    [ ("how", how); ("seq", string_of_int seq) ]
   | Ash_download { id; cache_hit; checks_elided; static_bound } ->
     [ ("id", string_of_int id); ("cache_hit", string_of_bool cache_hit);
       ("checks_elided", string_of_int checks_elided);
@@ -445,12 +491,16 @@ let account m =
   let dilp_run_bytes = h "dilp.run.bytes" in
   let tcp_hit = c "tcp.fast.hit" in
   let tcp_miss = c "tcp.fast.miss" in
+  let tcp_rexmit = c "tcp.retransmit" in
+  let tcp_rexmit_timeout = c "tcp.retransmit.timeout" in
+  let tcp_rexmit_fast = c "tcp.retransmit.fast" in
   let download = c "ash.download" in
   let cache_hit = c "ash.cache.hit" in
   let cache_miss = c "ash.cache.miss" in
   let absint_elided = c "ash.absint.checks_elided" in
   let absint_bounded = c "ash.absint.static_bounded" in
   let fault_injected = c "fault.injected" in
+  let drops_fault = c "drops.fault.drop" in
   let fault_cell =
     let drop = c "fault.drop" in
     let corrupt = c "fault.corrupt" in
@@ -500,7 +550,11 @@ let account m =
     | Pkt_rx { nic = "eth"; _ } -> bump rx_eth
     | Pkt_rx { nic; _ } -> Metrics.incr m ("pkt.rx." ^ nic)
     | Pkt_drop { nic; reason } ->
-      Metrics.incr m ("pkt.drop." ^ nic ^ "." ^ drop_reason_label reason)
+      (* The unified drop namespace: drops.<layer>.<reason>, where the
+         layer is the dropping NIC/device name ("an2", "eth", "switch")
+         and the reason is the closed [drop_reason] vocabulary. Fault
+         losses land under drops.fault.drop below. *)
+      Metrics.incr m ("drops." ^ nic ^ "." ^ drop_reason_label reason)
     | Wire_tx { bytes; _ } ->
       bump wire_tx;
       Metrics.observe_ref wire_tx_bytes (float_of_int bytes)
@@ -536,6 +590,12 @@ let account m =
       Metrics.observe_ref dilp_run_bytes (float_of_int len)
     | Tcp_fast_hit -> bump tcp_hit
     | Tcp_fast_miss -> bump tcp_miss
+    | Tcp_retransmit { how; _ } ->
+      bump tcp_rexmit;
+      (match how with
+       | "timeout" -> bump tcp_rexmit_timeout
+       | "fast" -> bump tcp_rexmit_fast
+       | h -> Metrics.incr m ("tcp.retransmit." ^ h))
     | Ash_download { cache_hit = hit; checks_elided; static_bound; _ } ->
       bump download;
       bump (if hit then cache_hit else cache_miss);
@@ -543,7 +603,8 @@ let account m =
       if static_bound <> None then bump absint_bounded
     | Fault_injected { fault; _ } ->
       bump fault_injected;
-      bump (fault_cell fault)
+      bump (fault_cell fault);
+      if fault = F_drop then bump drops_fault
     | Ash_quarantine _ -> bump quarantine
     | Ash_rearm _ -> bump rearm
     | Span_begin _ -> ()

@@ -95,6 +95,10 @@ type kind =
   | Dilp_run of { name : string; len : int }
   | Tcp_fast_hit  (** TCP fast-path handler committed *)
   | Tcp_fast_miss  (** segment fell back to the library path *)
+  | Tcp_retransmit of { how : string; seq : int }
+      (** one segment resent: [how] is ["timeout"] (RTO expiry, also
+          go-back-N resends it triggers) or ["fast"] (3 dup ACKs);
+          [seq] is the segment's ending sequence number *)
   | Ash_download of {
       id : int;
       cache_hit : bool;
@@ -146,14 +150,33 @@ val swap_clock : (unit -> int) -> (unit -> int)
 val now : unit -> int
 
 val enabled : unit -> bool
-(** True when a sink is installed. Emission sites use this to skip
-    event construction entirely when tracing is off. *)
+(** True when a sink is installed — or, on the root context, when at
+    least one {!tap} is armed. Emission sites use this to skip event
+    construction entirely when tracing is off. *)
 
 val emit : kind -> unit
 (** Send an event to the current sink (a no-op when tracing is off). *)
 
 val set_sink : (kind -> unit) -> unit
 val clear_sink : unit -> unit
+
+(** {1 Taps}
+
+    A tap is a secondary consumer of the root event stream — the
+    flight recorder's feed. Taps run beside the recorder sink and see
+    every event the root context emits (including shard events merged
+    in at epoch barriers), whether or not a recorder is installed, so
+    a black-box recorder stays armed across {!record}/{!stop} cycles.
+    Main-domain only: shard/worker contexts never dispatch to taps
+    directly. *)
+
+type tap_id
+
+val add_tap : (ts:int -> corr:int -> kind -> unit) -> tap_id
+(** Arm a tap; it fires in registration order after the sink. While
+    any tap is armed, {!enabled} is true on the root context. *)
+
+val remove_tap : tap_id -> unit
 
 val emit_at : ts:int -> corr:int -> kind -> unit
 (** Deliver an already-stamped event to the current sink. Used by the

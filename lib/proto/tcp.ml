@@ -257,14 +257,19 @@ let rtt_sample t sample =
   end
 
 (* Go-back-N: resend everything outstanding, marking each segment
-   retransmitted so Karn's rule suppresses its RTT sample. *)
-let resend_outstanding t =
+   retransmitted so Karn's rule suppresses its RTT sample. [how] names
+   the cause ("timeout" or "fast") on the per-segment trace event —
+   the flight recorder's retransmit-storm trigger counts these. *)
+let resend_outstanding t ~how =
+  let module Trace = Ash_obs.Trace in
   let now = now_ns t in
   List.iter
     (fun seg ->
        seg.rexmitted <- true;
        seg.sent_at <- now;
        t.s_rexmit <- t.s_rexmit + 1;
+       if Trace.enabled () then
+         Trace.emit (Trace.Tcp_retransmit { how; seq = seg.end_seq });
        Kernel.app_compute t.kernel Protocost.tcp_send_overhead_ns;
        xmit t (Bytes.copy seg.frame))
     (List.rev t.unacked)
@@ -305,7 +310,7 @@ let rec arm_rt_timer t =
                   (* Exponential backoff until a fresh ack arrives (only
                      the adaptive policy consults it). *)
                   t.backoff <- t.backoff + 1;
-                  resend_outstanding t;
+                  resend_outstanding t ~how:"timeout";
                   arm_rt_timer t
                 end
               end))
@@ -329,7 +334,7 @@ let restart_rt_timer t =
    resent (go-back-N), not just the first segment. *)
 let fast_retransmit t =
   t.s_fast_rexmit <- t.s_fast_rexmit + 1;
-  resend_outstanding t;
+  resend_outstanding t ~how:"fast";
   restart_rt_timer t
 
 let send_pure_ack t =
@@ -746,6 +751,19 @@ let create kernel cfg =
       s_bad_cksum = 0;
     }
   in
+  (* Telemetry: per-endpoint retransmit rate and live RTO, named by
+     kernel and local port (unique per endpoint); unregistered on
+     [teardown] so churned connections do not accumulate series. *)
+  (match Ash_obs.Timeseries.current () with
+   | None -> ()
+   | Some ts ->
+     let pre =
+       Printf.sprintf "tcp.%s.p%d." (Kernel.name kernel) cfg.local_port
+     in
+     Ash_obs.Timeseries.register_rate ts (pre ^ "retransmits") (fun () ->
+         t.s_rexmit);
+     Ash_obs.Timeseries.register_gauge ts (pre ^ "rto_ns") (fun () ->
+         float_of_int (current_rto t)));
   (* Initialize the TCB. *)
   tcb_set t Tcb.off_state Tcb.st_closed;
   tcb_set t Tcb.off_snd_nxt cfg.iss;
@@ -930,6 +948,14 @@ let set_on_peer_fin t f = t.on_peer_fin <- Some f
    afterwards; any late segment for the old binding drops as a DPF
    miss, exactly like a segment for a port nobody listens on. *)
 let teardown t =
+  (match Ash_obs.Timeseries.current () with
+   | None -> ()
+   | Some ts ->
+     let pre =
+       Printf.sprintf "tcp.%s.p%d." (Kernel.name t.kernel) t.cfg.local_port
+     in
+     Ash_obs.Timeseries.unregister ts (pre ^ "retransmits");
+     Ash_obs.Timeseries.unregister ts (pre ^ "rto_ns"));
   cancel_rt_timer t;
   t.pending_write <- None;
   t.unacked <- [];

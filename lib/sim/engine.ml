@@ -68,10 +68,23 @@ type t = {
   mutable clock : Time.ns;
   mutable next_seq : int;
   mutable live : int;
+  (* Under a multi-shard cluster the per-step telemetry tick is
+     suppressed: shards run on worker domains and at racy per-event
+     points, so the cluster ticks once per epoch barrier instead (main
+     domain, deterministic deadline). *)
+  mutable barrier_telemetry : bool;
 }
 
 let create () =
-  let t = { heap = Heap.create (); clock = 0; next_seq = 0; live = 0 } in
+  let t =
+    {
+      heap = Heap.create ();
+      clock = 0;
+      next_seq = 0;
+      live = 0;
+      barrier_telemetry = false;
+    }
+  in
   (* Trace events are stamped with this engine's virtual clock. The
      registration here covers emission outside event dispatch (e.g.
      scheduling before the first run); while an engine is stepping, it
@@ -139,6 +152,10 @@ let step_unscoped t =
       Fun.protect
         ~finally:(fun () -> Ash_obs.Trace.set_corr prev)
         e.action;
+      (* Sample the ambient timeseries on the event grid: one option
+         read per step when telemetry is off. *)
+      if not t.barrier_telemetry then
+        Ash_obs.Timeseries.tick_current ~now:t.clock;
       true
     end
 
@@ -254,6 +271,11 @@ module Cluster = struct
           Array.init shards (fun _ ->
               { o_items = Array.make 16 dummy_cell; o_len = 0 }))
     in
+    (* Multi-shard: telemetry samples are taken at the epoch barrier
+       (below), never inside a shard slice — the per-step tick would
+       run on worker domains at domain-interleaving-dependent points. *)
+    if shards > 1 then
+      Array.iter (fun e -> e.barrier_telemetry <- true) engines;
     { engines; bufs; epoch_ns; out; epoch_end = 0; running = false }
 
   let shards c = Array.length c.engines
@@ -356,6 +378,15 @@ module Cluster = struct
           ~finally:(fun () -> Domain.DLS.set cur_shard_key None)
           (fun () -> run_epoch c.engines.(s) deadline))
 
+  (* One deterministic telemetry point per epoch: every shard has
+     executed through [deadline] (a pure function of the event times
+     and the epoch pitch), all shard events are merged, and the worker
+     domains are parked — so gauge reads see a quiescent, job-count-
+     independent state. *)
+  let barrier_tick ~deadline =
+    Ash_obs.Timeseries.tick_current ~now:deadline;
+    Ash_obs.Flight.heartbeat_all ~now:deadline
+
   let begin_epoch c tmin ~until =
     let e_end = tmin + c.epoch_ns in
     let deadline = min (e_end - 1) until in
@@ -376,7 +407,8 @@ module Cluster = struct
           run_slice c s ~deadline
         done;
         flush_traces c;
-        drain_posts c
+        drain_posts c;
+        barrier_tick ~deadline
     done
 
   (* Persistent worker pool: shard s runs on worker (s mod jobs); the
@@ -478,7 +510,8 @@ module Cluster = struct
               raise e
             | None -> ());
             flush_traces c;
-            drain_posts c
+            drain_posts c;
+            barrier_tick ~deadline
         done)
 
   let run_epochs c ~jobs ~until =

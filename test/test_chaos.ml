@@ -537,6 +537,78 @@ let test_different_seed_different_faults () =
     (List.map (fun e -> (e.Trace.ts, e.Trace.kind)) (Trace.events r1)
      <> List.map (fun e -> (e.Trace.ts, e.Trace.kind)) (Trace.events r2))
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder under chaos (acceptance)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Ash_obs.Flight
+module Timeseries = Ash_obs.Timeseries
+module Minijson = Ash_util.Minijson
+
+(* A lossy transfer must fire the black box: the retransmit storm
+   trigger produces a postmortem dump holding the triggering event,
+   causal spans recovered from the ring, and the trailing metric
+   window of the ambient timeseries. *)
+let test_flight_dump_fires_under_loss () =
+  let ts = Timeseries.create () in
+  Timeseries.set_current ts;
+  let cfg =
+    { Flight.default_config with
+      retransmit_storm = 5;
+      burst_window_ns = 2_000_000_000;
+      cooldown_ns = 1_000_000_000;
+      stall_ns = 0 (* RTO gaps are not the anomaly under test *) }
+  in
+  let fl = Flight.arm ~config:cfg () in
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.disarm fl;
+      Timeseries.clear_current ())
+    (fun () ->
+      let _, st, got, expected, completed =
+        tcp_transfer ~plan:(Fault.lossy ~seed 0.2) ~n:200 ()
+      in
+      Alcotest.(check int) "all writes completed" 200 completed;
+      Alcotest.(check string) "payload intact despite anomalies" expected got;
+      Alcotest.(check bool) "enough retransmits to storm" true
+        (st.Tcp.retransmits >= 5);
+      Alcotest.(check bool) "the black box fired" true
+        (Flight.dump_count fl >= 1);
+      let d =
+        match
+          List.find_opt
+            (fun d -> d.Flight.d_trigger = Flight.Retransmit_storm)
+            (Flight.dumps fl)
+        with
+        | Some d -> d
+        | None -> Alcotest.fail "no retransmit-storm dump"
+      in
+      (match d.Flight.d_event with
+       | Some e ->
+         Alcotest.(check string) "triggering event kept" "tcp.retransmit"
+           (Trace.label e.Trace.kind)
+       | None -> Alcotest.fail "dump missing the triggering event");
+      Alcotest.(check bool) "causal spans recovered" true
+        (List.length d.Flight.d_spans >= 1);
+      Alcotest.(check bool) "trailing metric window present" true
+        (d.Flight.d_metrics <> []
+         && List.exists
+              (fun v -> v.Timeseries.samples <> [])
+              d.Flight.d_metrics);
+      (* Well-formedness: the dump parses back as JSON. *)
+      match Minijson.parse (Flight.dump_to_json d) with
+      | Minijson.Obj fields ->
+        Alcotest.(check bool) "schema field" true
+          (List.assoc_opt "schema" fields
+           = Some (Minijson.Str "ashs-flight-dump/1"));
+        Alcotest.(check bool) "events array non-empty" true
+          (match List.assoc_opt "events" fields with
+           | Some (Minijson.List l) -> l <> []
+           | _ -> false)
+      | _ -> Alcotest.fail "dump json is not an object"
+      | exception Minijson.Parse_error { pos; msg } ->
+        Alcotest.failf "dump json unparseable at %d: %s" pos msg)
+
 let () =
   Alcotest.run "ash_chaos"
     [
@@ -594,5 +666,10 @@ let () =
             test_same_seed_same_chaos_stream;
           Alcotest.test_case "different seed differs" `Quick
             test_different_seed_different_faults;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump fires under loss" `Quick
+            test_flight_dump_fires_under_loss;
         ] );
     ]

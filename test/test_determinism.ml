@@ -12,6 +12,7 @@ module Memory = Ash_sim.Memory
 module Machine = Ash_sim.Machine
 module Trace = Ash_obs.Trace
 module Metrics = Ash_obs.Metrics
+module Timeseries = Ash_obs.Timeseries
 module Bytesx = Ash_util.Bytesx
 module Rng = Ash_util.Rng
 
@@ -172,6 +173,36 @@ let test_jobs_invariant () =
   check_streams_identical j1 j2;
   check_streams_identical j1 j4
 
+let test_telemetry_stream_jobs_invariant () =
+  (* Telemetry rides the same virtual clock as the trace stream: under
+     Cluster the sampler runs at the deterministic epoch deadline, so
+     the exported JSON — every (ts, value) pair, in order — is a pure
+     function of seed and shard count, never of the worker-domain
+     count. This is what lets CI archive telemetry from any [--jobs]
+     run and diff it byte-for-byte. *)
+  let capture ~jobs =
+    let ts = Timeseries.create () in
+    Timeseries.set_current ts;
+    Fun.protect ~finally:Timeseries.clear_current (fun () ->
+        ignore
+          (Exp_scale.run_churn
+             { Exp_scale.default_spec with
+               connections = 12;
+               client_hosts = 6;
+               rounds = 2;
+               verify = true;
+               shards = 4;
+               jobs });
+        Timeseries.to_json ts)
+  in
+  let j1 = capture ~jobs:1 in
+  let j2 = capture ~jobs:2 in
+  let j4 = capture ~jobs:4 in
+  Alcotest.(check bool) "telemetry non-trivial" true
+    (String.length j1 > 200);
+  Alcotest.(check string) "jobs=1 vs jobs=2" j1 j2;
+  Alcotest.(check string) "jobs=1 vs jobs=4" j1 j4
+
 let test_shards_preserve_result () =
   (* Cross-shard arrivals ride the wire latency, which exceeds the
      epoch, so sharding never moves a virtual timestamp: the churn
@@ -211,6 +242,8 @@ let () =
         [
           Alcotest.test_case "byte-identical at jobs=1/2/4" `Quick
             test_jobs_invariant;
+          Alcotest.test_case "telemetry byte-identical at jobs=1/2/4" `Quick
+            test_telemetry_stream_jobs_invariant;
           Alcotest.test_case "shard count preserves the result" `Quick
             test_shards_preserve_result;
         ] );

@@ -92,7 +92,7 @@ let test_counters_derived () =
   Alcotest.(check int) "dispatch" 2 (Metrics.counter m "ash.dispatch");
   Alcotest.(check int) "commit" 1 (Metrics.counter m "ash.commit");
   Alcotest.(check int) "abort" 1 (Metrics.counter m "ash.abort");
-  Alcotest.(check int) "drop" 1 (Metrics.counter m "pkt.drop.an2.crc");
+  Alcotest.(check int) "drop" 1 (Metrics.counter m "drops.an2.crc");
   Alcotest.(check int) "dpf compiled" 1 (Metrics.counter m "dpf.eval.compiled");
   Alcotest.(check int) "dpf matched" 1 (Metrics.counter m "dpf.eval.matched");
   Alcotest.(check int) "dpf rejected" 1 (Metrics.counter m "dpf.eval.rejected");
@@ -520,6 +520,409 @@ let test_shard_corr_strided () =
   Alcotest.(check (list int)) "shard 0 stride" [ 1; 3; 5 ] (ids sb0 3);
   Alcotest.(check (list int)) "shard 1 stride" [ 2; 4; 6 ] (ids sb1 3)
 
+(* ------------------------------------------------------------------ *)
+(* Metrics gauges: registration collisions and snapshot-vs-reset       *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge_registration_collision () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "unknown gauge is None" true (Metrics.gauge m "q" = None);
+  Metrics.register_gauge m "q" (fun () -> 1.);
+  Metrics.register_gauge m "q" (fun () -> 2.);
+  (* Last-wins: the second closure replaces the first, no double-report. *)
+  Alcotest.(check bool) "last registration wins" true
+    (Metrics.gauge m "q" = Some 2.);
+  Metrics.register_gauge m "a" (fun () -> 7.);
+  Alcotest.(check (list (pair string (float 1e-9)))) "sorted sample of all"
+    [ ("a", 7.); ("q", 2.) ]
+    (Metrics.gauges m);
+  Metrics.unregister_gauge m "q";
+  Alcotest.(check bool) "unregistered reads None" true
+    (Metrics.gauge m "q" = None);
+  Alcotest.(check int) "others survive" 1 (List.length (Metrics.gauges m))
+
+let test_counter_snapshot_vs_reset () =
+  let m = Metrics.create () in
+  Metrics.incr m "c" ~by:5;
+  let r = Metrics.counter_ref m "c" in
+  Alcotest.(check int) "interned ref sees prior increments" 5 !r;
+  (* A read is a snapshot: it does not consume the count. *)
+  Alcotest.(check int) "read leaves value" 5 (Metrics.counter m "c");
+  Alcotest.(check int) "second read identical" 5 (Metrics.counter m "c");
+  Metrics.clear m;
+  Alcotest.(check int) "clear zeroes" 0 (Metrics.counter m "c");
+  (* Interned handles must survive a clear and keep counting. *)
+  incr r;
+  Alcotest.(check int) "interned ref still live after clear" 1
+    (Metrics.counter m "c")
+
+let test_histogram_edge_cases () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "empty histogram is None" true
+    (Metrics.histogram m "h" = None);
+  Metrics.observe m "h" 42.;
+  (match Metrics.histogram m "h" with
+   | None -> Alcotest.fail "single-sample histogram missing"
+   | Some s ->
+     Alcotest.(check (float 1e-9)) "p50 = the sample" 42. s.Metrics.p50;
+     Alcotest.(check (float 1e-9)) "p99 = the sample" 42. s.Metrics.p99);
+  Metrics.clear m;
+  Alcotest.(check bool) "cleared histogram is None again" true
+    (Metrics.histogram m "h" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries: grid sampling, rate deltas, rings, export               *)
+(* ------------------------------------------------------------------ *)
+
+module Timeseries = Ash_obs.Timeseries
+
+let one_series name ts =
+  match List.filter (fun v -> v.Timeseries.name = name) (Timeseries.series ts) with
+  | [ v ] -> v
+  | l -> Alcotest.failf "expected one series %S, got %d" name (List.length l)
+
+let test_ts_grid_sampling () =
+  let ts = Timeseries.create ~interval_ns:100 ~capacity:8 () in
+  let v = ref 1. in
+  Timeseries.register_gauge ts "g" (fun () -> !v);
+  Timeseries.tick ts ~now:0;
+  (* inside the first interval: no grid point crossed *)
+  v := 2.;
+  Timeseries.tick ts ~now:50;
+  (* crossing into the second interval samples AT the grid time *)
+  Timeseries.tick ts ~now:149;
+  v := 9.;
+  Timeseries.tick ts ~now:150;
+  let s = one_series "g" ts in
+  Alcotest.(check bool) "kind" true (s.Timeseries.kind = Timeseries.Gauge);
+  Alcotest.(check (list (pair int (float 1e-9)))) "grid-stamped samples"
+    [ (0, 1.); (100, 2.) ]
+    s.Timeseries.samples
+
+let test_ts_rate_delta_and_total () =
+  let ts = Timeseries.create ~interval_ns:100 ~capacity:2 () in
+  let total = ref 5 in
+  Timeseries.register_rate ts "r" (fun () -> !total);
+  (* Registration baselines at 5: the pre-existing total is not a delta. *)
+  Timeseries.tick ts ~now:0;
+  total := 12;
+  Timeseries.tick ts ~now:100;
+  total := 12;
+  Timeseries.tick ts ~now:200;
+  total := 15;
+  Timeseries.tick ts ~now:300;
+  let s = one_series "r" ts in
+  (* capacity 2: ring keeps the newest two deltas, cum keeps them all *)
+  Alcotest.(check (list (pair int (float 1e-9)))) "newest deltas"
+    [ (200, 0.); (300, 3.) ]
+    s.Timeseries.samples;
+  Alcotest.(check int) "cumulative survives wraparound" 10 s.Timeseries.cum
+
+let test_ts_reregister_keeps_ring () =
+  let ts = Timeseries.create ~interval_ns:100 ~capacity:8 () in
+  Timeseries.register_rate ts "r" (fun () -> 10);
+  Timeseries.tick ts ~now:0;
+  (* A re-created component restarts its total from a smaller value;
+     rebaselining must not produce a negative delta, and the ring is
+     kept so the series continues. *)
+  Timeseries.register_rate ts "r" (fun () -> 3);
+  Timeseries.tick ts ~now:100;
+  let s = one_series "r" ts in
+  Alcotest.(check (list (pair int (float 1e-9)))) "no negative delta"
+    [ (0, 0.); (100, 0.) ]
+    s.Timeseries.samples;
+  Timeseries.unregister ts "r";
+  Alcotest.(check int) "unregister drops the series" 0
+    (List.length (Timeseries.series ts))
+
+let test_ts_clock_backwards_realigns () =
+  let ts = Timeseries.create ~interval_ns:100 ~capacity:8 () in
+  let v = ref 1. in
+  Timeseries.register_gauge ts "g" (fun () -> !v);
+  (* first tick samples at the pending grid point (0), then advances
+     the grid past now (next due: 1_100) *)
+  Timeseries.tick ts ~now:1_000;
+  (* a new engine in the same process restarts virtual time near 0:
+     more than one interval behind the grid, so the grid realigns and
+     sampling resumes instead of going silent until t=1_100 *)
+  v := 4.;
+  Timeseries.tick ts ~now:50;
+  let s = one_series "g" ts in
+  Alcotest.(check (list (pair int (float 1e-9)))) "realigned grid"
+    [ (0, 1.); (0, 4.) ]
+    s.Timeseries.samples;
+  (* and the realigned grid keeps advancing normally *)
+  v := 6.;
+  Timeseries.tick ts ~now:100;
+  let s = one_series "g" ts in
+  Alcotest.(check (list (pair int (float 1e-9)))) "grid resumes"
+    [ (0, 1.); (0, 4.); (100, 6.) ]
+    s.Timeseries.samples
+
+let test_ts_window_and_export () =
+  let mk () =
+    let ts = Timeseries.create ~interval_ns:100 ~capacity:8 () in
+    let total = ref 0 in
+    Timeseries.register_rate ts "msgs" (fun () -> !total);
+    Timeseries.register_gauge ts "depth" (fun () -> 2.5);
+    Timeseries.register_gauge ts "never-sampled" (fun () -> 0.);
+    Timeseries.unregister ts "never-sampled";
+    for i = 0 to 4 do
+      total := !total + i;
+      Timeseries.tick ts ~now:(i * 100)
+    done;
+    ts
+  in
+  let ts = mk () in
+  (match Timeseries.window ts ~last:2 with
+   | [ depth; msgs ] ->
+     Alcotest.(check string) "name order deterministic" "depth"
+       depth.Timeseries.name;
+     Alcotest.(check int) "window truncates" 2
+       (List.length msgs.Timeseries.samples);
+     Alcotest.(check int) "cum is the full total" 10 msgs.Timeseries.cum
+   | l -> Alcotest.failf "expected 2 views, got %d" (List.length l));
+  let j = Timeseries.to_json ts in
+  Alcotest.(check bool) "schema" true (contains j "ashs-telemetry/1");
+  Alcotest.(check bool) "rate total exported" true
+    (contains j "\"total\": 10");
+  let bal c o =
+    String.fold_left
+      (fun n ch -> if ch = o then n + 1 else if ch = c then n - 1 else n)
+      0 j
+  in
+  Alcotest.(check int) "braces" 0 (bal '}' '{');
+  Alcotest.(check int) "brackets" 0 (bal ']' '[');
+  (* Identical construction, identical bytes: the determinism the
+     sharded telemetry stream relies on. *)
+  Alcotest.(check string) "byte-identical reruns" j
+    (Timeseries.to_json (mk ()));
+  let p = Timeseries.to_prometheus ts in
+  Alcotest.(check bool) "counter line" true
+    (contains p "# TYPE ash_msgs counter\nash_msgs 10");
+  Alcotest.(check bool) "gauge line has last sample" true
+    (contains p "# TYPE ash_depth gauge\nash_depth 2.5")
+
+let test_ts_prometheus_name_sanitization () =
+  let ts = Timeseries.create ~interval_ns:100 ~capacity:4 () in
+  Timeseries.register_gauge ts "kern.host0.busy-ns" (fun () -> 1.);
+  Timeseries.sample ts ~now:0;
+  Alcotest.(check bool) "dots and dashes become underscores" true
+    (contains (Timeseries.to_prometheus ts) "ash_kern_host0_busy_ns 1")
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: anomaly triggers and postmortem dumps              *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Ash_obs.Flight
+
+(* Arm, run, always disarm: taps are process-global state. *)
+let with_flight ?config ?timeseries f =
+  let fl = Flight.arm ?config ?timeseries () in
+  Fun.protect ~finally:(fun () -> Flight.disarm fl) (fun () -> f fl)
+
+let flight_cfg =
+  { Flight.default_config with
+    queue_full_burst = 3;
+    retransmit_storm = 3;
+    switch_drop_spike = 3;
+    burst_window_ns = 1_000;
+    stall_ns = 1_000;
+    cooldown_ns = 100;
+    metric_window = 4 }
+
+let test_flight_quarantine_dump () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      Alcotest.(check bool) "tap makes the stream live" true (Trace.enabled ());
+      Trace.with_corr 1 (fun () ->
+          Span.begin_span ~corr:1 Trace.Ash_run;
+          t := 40;
+          Span.end_span ~corr:1 Trace.Ash_run);
+      t := 50;
+      Trace.emit (Trace.Ash_quarantine { id = 7; kills = 3 });
+      Alcotest.(check int) "one dump" 1 (Flight.dump_count fl);
+      match Flight.dumps fl with
+      | [ d ] ->
+        Alcotest.(check string) "trigger" "quarantine"
+          (Flight.trigger_label d.Flight.d_trigger);
+        Alcotest.(check int) "fired at the event time" 50 d.Flight.d_ts;
+        (match d.Flight.d_event with
+         | Some e ->
+           Alcotest.(check string) "triggering event kept" "ash.quarantine"
+             (Trace.label e.Trace.kind)
+         | None -> Alcotest.fail "no triggering event");
+        Alcotest.(check bool) "ring window non-empty" true
+          (d.Flight.d_events <> []);
+        Alcotest.(check int) "causal span recovered" 1
+          (List.length d.Flight.d_spans);
+        let j = Flight.dump_to_json d in
+        Alcotest.(check bool) "schema" true (contains j "ashs-flight-dump/1");
+        Alcotest.(check bool) "event label in json" true
+          (contains j "ash.quarantine");
+        let bal c o =
+          String.fold_left
+            (fun n ch -> if ch = o then n + 1 else if ch = c then n - 1 else n)
+            0 j
+        in
+        Alcotest.(check int) "braces" 0 (bal '}' '{');
+        Alcotest.(check int) "brackets" 0 (bal ']' '[')
+      | l -> Alcotest.failf "expected 1 dump, got %d" (List.length l))
+
+let test_flight_burst_threshold_and_cooldown () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      let drop () =
+        Trace.emit (Trace.Pkt_drop { nic = "eth"; reason = Trace.Queue_full })
+      in
+      drop ();
+      t := 10;
+      drop ();
+      Alcotest.(check int) "below threshold: quiet" 0 (Flight.dump_count fl);
+      t := 20;
+      drop ();
+      Alcotest.(check int) "third drop in window fires" 1 (Flight.dump_count fl);
+      (* Within the cooldown a sustained burst must not re-fire... *)
+      t := 40;
+      drop (); drop (); drop ();
+      Alcotest.(check int) "cooldown suppresses" 1 (Flight.dump_count fl);
+      (* ...after it, a fresh burst fires again. *)
+      t := 200;
+      drop ();
+      t := 210;
+      drop ();
+      t := 220;
+      drop ();
+      Alcotest.(check int) "re-arms after cooldown" 2 (Flight.dump_count fl);
+      match Flight.dumps fl with
+      | d :: _ ->
+        Alcotest.(check string) "trigger" "queue-full-burst"
+          (Flight.trigger_label d.Flight.d_trigger)
+      | [] -> Alcotest.fail "no dumps")
+
+let test_flight_burst_window_expires () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      let drop () =
+        Trace.emit (Trace.Pkt_drop { nic = "eth"; reason = Trace.Queue_full })
+      in
+      (* Three drops, but spread wider than burst_window_ns: no anomaly. *)
+      drop ();
+      t := 1_500;
+      drop ();
+      t := 3_000;
+      drop ();
+      Alcotest.(check int) "slow drip never fires" 0 (Flight.dump_count fl))
+
+let test_flight_switch_drop_spike () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      (* Switch tail drops classify by nic, not by reason. *)
+      for i = 1 to 3 do
+        t := i * 10;
+        Trace.emit
+          (Trace.Pkt_drop { nic = "switch"; reason = Trace.Queue_full })
+      done;
+      Alcotest.(check int) "spike fires" 1 (Flight.dump_count fl);
+      match Flight.dumps fl with
+      | d :: _ ->
+        Alcotest.(check string) "classified as switch spike"
+          "switch-drop-spike"
+          (Flight.trigger_label d.Flight.d_trigger)
+      | [] -> Alcotest.fail "no dumps")
+
+let test_flight_stall_watchdog () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      (* Progress at t=0, then only epoch heartbeats landing inside the
+         stall window: a stall. *)
+      Trace.emit (Trace.Pkt_rx { nic = "eth"; bytes = 64 });
+      Flight.heartbeat fl ~now:500;
+      Alcotest.(check int) "within budget: quiet" 0 (Flight.dump_count fl);
+      Flight.heartbeat_all ~now:1_000;
+      Alcotest.(check int) "starved progress fires" 1 (Flight.dump_count fl);
+      match Flight.dumps fl with
+      | [ d ] ->
+        Alcotest.(check string) "trigger" "stalled-epoch"
+          (Flight.trigger_label d.Flight.d_trigger);
+        Alcotest.(check bool) "heartbeat stall has no event" true
+          (d.Flight.d_event = None)
+      | l -> Alcotest.failf "expected 1 dump, got %d" (List.length l))
+
+let test_flight_stall_idle_fast_forward () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      (* Progress at t=0, then the clock jumps straight over several
+         stall windows (an RTO backoff / TIME_WAIT fast-forward): the
+         recorder saw nothing inside the window, so this is idle time,
+         not a stall — for both the event path and the heartbeat path. *)
+      Trace.emit (Trace.Pkt_rx { nic = "eth"; bytes = 64 });
+      t := 5_000;
+      Trace.emit (Trace.Mark "timer-after-idle");
+      Alcotest.(check int) "event after idle gap: no dump" 0
+        (Flight.dump_count fl);
+      Flight.heartbeat fl ~now:20_000;
+      Alcotest.(check int) "heartbeat after idle gap: no dump" 0
+        (Flight.dump_count fl);
+      (* The watchdog re-anchored, not died: dense activity with no
+         progress still fires from the new anchor. *)
+      Flight.heartbeat fl ~now:20_500;
+      Flight.heartbeat fl ~now:21_000;
+      Alcotest.(check int) "still armed after re-anchor" 1
+        (Flight.dump_count fl))
+
+let test_flight_metric_window_in_dump () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  let ts = Timeseries.create ~interval_ns:100 ~capacity:64 () in
+  let total = ref 0 in
+  Timeseries.register_rate ts "drops" (fun () -> !total);
+  for i = 0 to 9 do
+    total := !total + 1;
+    Timeseries.tick ts ~now:(i * 100)
+  done;
+  with_flight ~config:flight_cfg ~timeseries:ts (fun fl ->
+      t := 1_000;
+      Trace.emit (Trace.Ash_quarantine { id = 1; kills = 9 });
+      match Flight.dumps fl with
+      | [ d ] ->
+        (match d.Flight.d_metrics with
+         | [ v ] ->
+           Alcotest.(check string) "series name" "drops" v.Timeseries.name;
+           Alcotest.(check int) "trailing window truncated to config" 4
+             (List.length v.Timeseries.samples)
+         | l -> Alcotest.failf "expected 1 metric view, got %d" (List.length l));
+        Alcotest.(check int) "grid pitch recorded" 100 d.Flight.d_interval_ns
+      | l -> Alcotest.failf "expected 1 dump, got %d" (List.length l))
+
+let test_flight_write_dumps () =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  with_flight ~config:flight_cfg (fun fl ->
+      Trace.emit (Trace.Ash_quarantine { id = 2; kills = 1 });
+      let prefix =
+        Filename.concat (Filename.get_temp_dir_name ()) "ash-flight-test"
+      in
+      let paths = Flight.write_dumps fl ~prefix in
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun p -> try Sys.remove p with _ -> ()) paths)
+        (fun () ->
+           match paths with
+           | [ p ] ->
+             let ic = open_in p in
+             let n = in_channel_length ic in
+             let s = really_input_string ic n in
+             close_in ic;
+             Alcotest.(check bool) "file holds the dump json" true
+               (contains s "ashs-flight-dump/1")
+           | l -> Alcotest.failf "expected 1 path, got %d" (List.length l)))
+
 let () =
   Alcotest.run "ash_obs"
     [
@@ -580,5 +983,48 @@ let () =
             (isolated test_shard_buffers_isolated);
           Alcotest.test_case "strided correlation ids" `Quick
             (isolated test_shard_corr_strided);
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "registration collision" `Quick
+            (isolated test_gauge_registration_collision);
+          Alcotest.test_case "snapshot vs reset" `Quick
+            (isolated test_counter_snapshot_vs_reset);
+          Alcotest.test_case "histogram edges" `Quick
+            (isolated test_histogram_edge_cases);
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "grid sampling" `Quick
+            (isolated test_ts_grid_sampling);
+          Alcotest.test_case "rate deltas" `Quick
+            (isolated test_ts_rate_delta_and_total);
+          Alcotest.test_case "re-register keeps ring" `Quick
+            (isolated test_ts_reregister_keeps_ring);
+          Alcotest.test_case "clock backwards" `Quick
+            (isolated test_ts_clock_backwards_realigns);
+          Alcotest.test_case "window + export" `Quick
+            (isolated test_ts_window_and_export);
+          Alcotest.test_case "prometheus names" `Quick
+            (isolated test_ts_prometheus_name_sanitization);
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "quarantine dump" `Quick
+            (isolated test_flight_quarantine_dump);
+          Alcotest.test_case "burst threshold + cooldown" `Quick
+            (isolated test_flight_burst_threshold_and_cooldown);
+          Alcotest.test_case "burst window expires" `Quick
+            (isolated test_flight_burst_window_expires);
+          Alcotest.test_case "switch drop spike" `Quick
+            (isolated test_flight_switch_drop_spike);
+          Alcotest.test_case "stall watchdog" `Quick
+            (isolated test_flight_stall_watchdog);
+          Alcotest.test_case "stall ignores idle fast-forward" `Quick
+            (isolated test_flight_stall_idle_fast_forward);
+          Alcotest.test_case "metric window in dump" `Quick
+            (isolated test_flight_metric_window_in_dump);
+          Alcotest.test_case "write dumps" `Quick
+            (isolated test_flight_write_dumps);
         ] );
     ]

@@ -314,6 +314,70 @@ let test_trie_miss_is_miss () =
   Alcotest.(check (option int)) "unbound port misses" None
     (Dpf_trie.find trie pkt)
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder + telemetry at the switch (acceptance)              *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Ash_obs.Flight
+module Timeseries = Ash_obs.Timeseries
+
+(* The overflow blast again, but with the black box armed and a
+   timeseries ambient: the tail-drop burst must fire the switch-drop
+   spike trigger, and the switch's registered rate counters must agree
+   with its stats. *)
+let test_switch_drop_spike_fires_black_box () =
+  let ts = Timeseries.create () in
+  Timeseries.set_current ts;
+  let cfg =
+    { Flight.default_config with
+      switch_drop_spike = 3;
+      burst_window_ns = 1_000_000_000;
+      stall_ns = 0 }
+  in
+  let fl = Flight.arm ~config:cfg () in
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.disarm fl;
+      Timeseries.clear_current ())
+    (fun () ->
+      let engine, sw, nics = raw_trio ~queue_limit:2 () in
+      Ethernet.set_rx_handler nics.(2) (fun r ->
+          Ethernet.release_buffer nics.(2) ~ring_addr:r.Ethernet.ring_addr);
+      Ethernet.transmit nics.(2) (Bytes.make 64 'x');
+      Engine.run engine;
+      Ethernet.set_route nics.(0) (fun _ -> Some (Ethernet.mac nics.(2)));
+      Ethernet.set_route nics.(1) (fun _ -> Some (Ethernet.mac nics.(2)));
+      for _ = 1 to 12 do
+        Ethernet.transmit nics.(0) (Bytes.make 256 'a');
+        Ethernet.transmit nics.(1) (Bytes.make 256 'b')
+      done;
+      Engine.run engine;
+      let drops = (Switch.port_stats sw ~port:2).Switch.tx_dropped_overflow in
+      Alcotest.(check bool) "tail drops happened" true (drops >= 3);
+      Alcotest.(check bool) "black box fired" true (Flight.dump_count fl >= 1);
+      (match
+         List.find_opt
+           (fun d -> d.Flight.d_trigger = Flight.Switch_drop_spike)
+           (Flight.dumps fl)
+       with
+       | Some d ->
+         Alcotest.(check bool) "triggering event kept" true
+           (d.Flight.d_event <> None);
+         Alcotest.(check bool) "ring window non-empty" true
+           (d.Flight.d_events <> [])
+       | None -> Alcotest.fail "no switch-drop-spike dump");
+      (* The switch registered its sources with the ambient timeseries
+         at creation; the sampled stream must account the same drops. *)
+      Timeseries.sample ts ~now:(Engine.now engine);
+      match
+        List.find_opt
+          (fun v -> v.Timeseries.name = "switch.drops")
+          (Timeseries.series ts)
+      with
+      | Some v -> Alcotest.(check int) "telemetry agrees with stats"
+                    drops v.Timeseries.cum
+      | None -> Alcotest.fail "switch.drops not registered")
+
 let () =
   Alcotest.run "ash_scale"
     [
@@ -351,5 +415,10 @@ let () =
             test_multicore_scaling;
           Alcotest.test_case "goodput invariant under jobs" `Quick
             test_multicore_jobs_invariant;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "switch-drop spike fires black box" `Quick
+            test_switch_drop_spike_fires_black_box;
         ] );
     ]

@@ -340,6 +340,68 @@ let prop_summary_mean_between_min_max =
        s.Stats.min <= s.Stats.mean +. 1e-9
        && s.Stats.mean <= s.Stats.max +. 1e-9)
 
+(* -- Minijson: the dependency-free reader behind ashbench top/regress -- *)
+
+module J = Ash_util.Minijson
+
+let test_minijson_values () =
+  Alcotest.(check bool) "null" true (J.parse "null" = J.Null);
+  Alcotest.(check bool) "bools" true
+    (J.parse "true" = J.Bool true && J.parse "false" = J.Bool false);
+  Alcotest.(check bool) "numbers" true
+    (J.parse "42" = J.Num 42. && J.parse "-1.5e2" = J.Num (-150.));
+  Alcotest.(check bool) "string" true (J.parse "\"hi\"" = J.Str "hi");
+  Alcotest.(check bool) "empty containers" true
+    (J.parse "[]" = J.List [] && J.parse "{}" = J.Obj []);
+  Alcotest.(check bool) "nesting + whitespace" true
+    (J.parse " { \"a\" : [ 1 , true ] } "
+     = J.Obj [ ("a", J.List [ J.Num 1.; J.Bool true ]) ])
+
+let test_minijson_escapes () =
+  Alcotest.(check bool) "common escapes" true
+    (J.parse {|"a\"b\\c\nd\te"|} = J.Str "a\"b\\c\nd\te");
+  (* \u escapes decode to UTF-8 so our own writers round-trip. *)
+  Alcotest.(check bool) "ascii \\u" true
+    (J.parse "\"\\u0041\"" = J.Str "A");
+  Alcotest.(check bool) "two-byte \\u" true
+    (J.parse "\"\\u00e9\"" = J.Str "\xc3\xa9")
+
+let test_minijson_errors () =
+  let rejects s =
+    match J.parse s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (rejects "1 2");
+  Alcotest.(check bool) "unterminated string" true (rejects "\"abc");
+  Alcotest.(check bool) "bare word" true (rejects "nope");
+  Alcotest.(check bool) "missing colon" true (rejects "{\"a\" 1}");
+  Alcotest.(check bool) "trailing comma" true (rejects "[1,]")
+
+let test_minijson_accessors () =
+  let v = J.parse {|{"meta": {"rev": "abc"}, "xs": [1, 2, 3]}|} in
+  Alcotest.(check bool) "mem hit" true
+    (Option.bind (J.mem "meta" v) (J.mem "rev") = Some (J.Str "abc"));
+  Alcotest.(check bool) "mem miss" true (J.mem "nope" v = None);
+  Alcotest.(check bool) "to_float" true (J.to_float (J.Num 3.) = Some 3.);
+  Alcotest.(check bool) "to_float on non-num" true (J.to_float J.Null = None);
+  Alcotest.(check int) "to_list" 3
+    (match Option.bind (J.mem "xs" v) J.to_list with
+     | Some l -> List.length l
+     | None -> 0)
+
+let test_minijson_number_rendering () =
+  Alcotest.(check string) "integral bare" "42" (J.number 42.);
+  Alcotest.(check string) "negative integral" "-7" (J.number (-7.));
+  Alcotest.(check string) "fractional short form" "1.5" (J.number 1.5);
+  (* Round-trip: what we render, we can parse back. *)
+  List.iter
+    (fun f ->
+       match J.parse (J.number f) with
+       | J.Num g -> Alcotest.(check (float 1e-6)) "round trip" f g
+       | _ -> Alcotest.fail "number did not parse back")
+    [ 0.; 1.; -3.5; 1234567.; 0.001 ]
+
 let () =
   Alcotest.run "ash_util"
     [
@@ -384,6 +446,15 @@ let () =
           Alcotest.test_case "bswap" `Quick test_bswap;
           Alcotest.test_case "bounds" `Quick test_bounds_checking;
           Alcotest.test_case "equal_slice" `Quick test_equal_slice;
+        ] );
+      ( "minijson",
+        [
+          Alcotest.test_case "values" `Quick test_minijson_values;
+          Alcotest.test_case "escapes" `Quick test_minijson_escapes;
+          Alcotest.test_case "errors" `Quick test_minijson_errors;
+          Alcotest.test_case "accessors" `Quick test_minijson_accessors;
+          Alcotest.test_case "number rendering" `Quick
+            test_minijson_number_rendering;
         ] );
       ( "properties",
         [
