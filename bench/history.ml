@@ -75,6 +75,20 @@ let headline =
           table_row r ~table:"exp_multicore" ~label:"4-core server | speedup vs 1");
     };
     {
+      m_key = "exp_mq.goodput_5pct_loss";
+      m_kind = Virtual;
+      m_tol = 0.05;
+      m_extract =
+        (fun r -> table_row r ~table:"exp_mq" ~label:"goodput | 5% loss");
+    };
+    {
+      m_key = "exp_mq.failover_blackout_ms";
+      m_kind = Virtual;
+      m_tol = 0.05;
+      m_extract =
+        (fun r -> table_row r ~table:"exp_mq" ~label:"failover | blackout");
+    };
+    {
       m_key = "table6.tcp_roundtrip_ns";
       m_kind = Host;
       m_tol = 0.50;

@@ -38,6 +38,7 @@ let experiments : (string * (unit -> Report.table)) list =
     ("chaos", fun () -> Core.Exp_chaos.chaos ());
     ("exp_scale", Core.Exp_scale.scale);
     ("exp_multicore", Core.Exp_multicore.multicore);
+    ("exp_mq", Core.Exp_mq.mq);
   ]
 
 (* -- Bechamel: host-side cost of each experiment's simulation kernel -- *)
@@ -92,6 +93,7 @@ let staged_kernels : (string * (unit -> unit)) list =
                connections = 8;
                client_hosts = 4;
                rounds = 2 }) );
+    ("exp_mq.produce_chain", fun () -> ignore (Core.Exp_mq.smoke ()));
   ]
 
 let bechamel_tests =

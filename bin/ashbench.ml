@@ -35,6 +35,8 @@ let experiments : (string * string * (unit -> Report.table)) list =
      Core.Exp_scale.scale);
     ("exp_multicore", "RSS-sharded server goodput vs cores; domain speedup",
      Core.Exp_multicore.multicore);
+    ("exp_mq", "replicated message queue: goodput vs loss, failover recovery",
+     Core.Exp_mq.mq);
   ]
 
 let handlers : (string * (unit -> Program.t)) list =

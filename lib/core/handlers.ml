@@ -149,6 +149,355 @@ let remote_write_guarded () =
   Builder.abort b;
   Builder.assemble b
 
+(* ------------------------------------------------------------------ *)
+(* Message-queue service handlers (Mq)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The replicated log's hot path: produce (append + offset assignment),
+   replicate-apply, and fetch/poll all run in the kernel as ASHs over
+   plain memory segments. The OCaml side ({!Mq}) only does control
+   plane: building request frames, retrying on timeouts, and reading
+   the log for audits.
+
+   Wire format, after the transport header ([mq_net_off] bytes of
+   IP+UDP when bound to an Ethernet DPF filter):
+     +0  magic      +4  op         +8  producer   +12 seq
+     +16 offset     +20 client ip  +24 client udp port
+     +28 payload length (bytes)    +32 payload...
+   Log slot format ([1 lsl mq_slot_shift] bytes per slot):
+     +0 producer  +4 seq  +8 payload length  +12 reserved  +16 payload. *)
+
+let mq_magic = 0x4D514C47
+let mq_header = 32
+let mq_op_produce = 1
+let mq_op_produce_ack = 2
+let mq_op_fetch = 3
+let mq_op_fetch_resp = 4
+let mq_op_poll = 5
+let mq_op_poll_resp = 6
+let mq_op_replicate = 7
+
+(* Counter-segment offsets: handlers bump these, the control plane
+   reads them for telemetry and drop accounting. *)
+let mq_ctr_appends = 0
+let mq_ctr_dup = 4
+let mq_ctr_stale = 8
+let mq_ctr_gap = 12
+let mq_ctr_len = 16
+
+type mq_geometry = {
+  mq_net_off : int;      (* transport header bytes before the MQ header *)
+  mq_capacity : int;     (* log slots *)
+  mq_producers : int;    (* session-table entries *)
+  mq_slot_shift : int;   (* log2 of the slot stride *)
+  mq_meta : int;         (* address of the offset counter (one word) *)
+  mq_log : int;          (* address of the log ring *)
+  mq_sess : int;         (* address of the session table (8 B/producer) *)
+  mq_ctr : int;          (* address of the counter segment *)
+}
+
+let mq_payload_max geo = (1 lsl geo.mq_slot_shift) - 16
+
+(* How a produce handler answers: the primary rewrites the frame into a
+   replicate and chains it to the peer broker (the ack comes back from
+   the far end of the chain, so an acked message is durable on both
+   logs); a solo broker acks the client directly. *)
+type mq_route =
+  | Mq_chain of {
+      self_ip : int;
+      peer_ip : int;
+      produce_port : int;
+      repl_port : int;
+    }
+  | Mq_solo
+
+(* Shared emission helpers. All field offsets are immediates, so every
+   handler is specialized to its broker's segment addresses at
+   download time — the paper's dynamic-code-generation idiom. *)
+let mq_bump b geo tmp addr off =
+  Builder.li b tmp (geo.mq_ctr + off);
+  Builder.emit b (Isa.Ld32 (addr, tmp, 0));
+  Builder.emit b (Isa.Addi (addr, addr, 1));
+  Builder.emit b (Isa.St32 (addr, tmp, 0))
+
+(* Swap IP source/destination words and UDP ports in place: reroutes
+   the frame back to its sender without a header rebuild (swapping two
+   aligned words keeps the IP checksum valid). *)
+let mq_swap_back b ta tb =
+  Builder.emit b (Isa.Ld32 (ta, Isa.reg_msg_addr, 12));
+  Builder.emit b (Isa.Ld32 (tb, Isa.reg_msg_addr, 16));
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, 16));
+  Builder.emit b (Isa.St32 (tb, Isa.reg_msg_addr, 12));
+  Builder.emit b (Isa.Ld16 (ta, Isa.reg_msg_addr, 20));
+  Builder.emit b (Isa.Ld16 (tb, Isa.reg_msg_addr, 22));
+  Builder.emit b (Isa.St16 (ta, Isa.reg_msg_addr, 22));
+  Builder.emit b (Isa.St16 (tb, Isa.reg_msg_addr, 20))
+
+(* Protocol preamble: runt guard (which also lets the download-time
+   analyzer discharge the header-load checks), magic, expected op, and
+   producer-id bounds check. Leaves the producer id in [p] and the
+   producer's session-table address in [sp]. *)
+let mq_preamble b geo ~op ~bad ta p sp =
+  Builder.li b ta (geo.mq_net_off + mq_header + 4);
+  Builder.bltu b Isa.reg_msg_len ta bad;
+  Builder.emit b (Isa.Ld32 (ta, Isa.reg_msg_addr, geo.mq_net_off));
+  Builder.li b p mq_magic;
+  Builder.bne b ta p bad;
+  Builder.emit b (Isa.Ld32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 4));
+  Builder.li b p op;
+  Builder.bne b ta p bad;
+  Builder.emit b (Isa.Ld32 (p, Isa.reg_msg_addr, geo.mq_net_off + 8));
+  Builder.li b ta geo.mq_producers;
+  Builder.bgeu b p ta bad;
+  Builder.emit b (Isa.Sll (sp, p, 3));
+  Builder.emit b (Isa.Addi (sp, sp, geo.mq_sess))
+
+(* Validate the payload length field against the slot geometry and the
+   actual frame, then append the message at offset [c]: slot header,
+   trusted payload copy, offset counter, session update. *)
+let mq_append b geo ~bad ta tb p s c len slot sp =
+  Builder.emit b (Isa.Ld32 (len, Isa.reg_msg_addr, geo.mq_net_off + 28));
+  Builder.li b ta 4;
+  Builder.bltu b len ta bad;
+  Builder.li b ta (mq_payload_max geo);
+  Builder.bltu b ta len bad;
+  Builder.emit b (Isa.Andi (ta, len, 3));
+  Builder.bne b ta Isa.reg_zero bad;
+  Builder.emit b (Isa.Addi (ta, len, geo.mq_net_off + mq_header));
+  Builder.bltu b Isa.reg_msg_len ta bad;
+  Builder.emit b (Isa.Sll (slot, c, geo.mq_slot_shift));
+  Builder.emit b (Isa.Addi (slot, slot, geo.mq_log));
+  Builder.emit b (Isa.St32 (p, slot, 0));
+  Builder.emit b (Isa.St32 (s, slot, 4));
+  Builder.emit b (Isa.St32 (len, slot, 8));
+  Builder.li b Isa.reg_arg0 (geo.mq_net_off + mq_header);
+  Builder.emit b (Isa.Addi (Isa.reg_arg1, slot, 16));
+  Builder.emit b (Isa.Mov (Isa.reg_arg2, len));
+  Builder.call b Isa.K_copy;
+  Builder.emit b (Isa.Addi (ta, c, 1));
+  Builder.li b tb geo.mq_meta;
+  Builder.emit b (Isa.St32 (ta, tb, 0));
+  Builder.emit b (Isa.St32 (s, sp, 0));
+  Builder.emit b (Isa.St32 (c, sp, 4));
+  mq_bump b geo ta tb mq_ctr_appends
+
+(* Produce: dedup against the per-producer session, append in-sequence
+   messages at the head offset, and answer per [route]. On the chained
+   primary the answer is the same frame rewritten into a replicate and
+   sent to the peer broker — message-initiation chaining, so the client
+   ack originates from the replica and implies durability on both logs.
+   A solo broker (the failover target) acks the client directly by
+   swapping the frame around. Out-of-window sequences commit silently:
+   the client's retry, not the broker, owns liveness. A full log aborts
+   (no ack — producers stall rather than overwrite). *)
+let mq_produce geo route =
+  let b = Builder.create ~name:"mq-produce" () in
+  let bad = Builder.fresh_label b in
+  let dup = Builder.fresh_label b in
+  let stale = Builder.fresh_label b in
+  let respond = Builder.fresh_label b in
+  let ta = Builder.temp b and tb = Builder.temp b in
+  let p = Builder.temp b and sp = Builder.temp b in
+  let s = Builder.temp b and l = Builder.temp b in
+  let c = Builder.temp b and len = Builder.temp b in
+  let slot = Builder.temp b in
+  mq_preamble b geo ~op:mq_op_produce ~bad ta p sp;
+  Builder.emit b (Isa.Ld32 (l, sp, 0));
+  Builder.emit b (Isa.Ld32 (s, Isa.reg_msg_addr, geo.mq_net_off + 12));
+  Builder.beq b s l dup;
+  Builder.emit b (Isa.Addi (ta, l, 1));
+  Builder.bne b s ta stale;
+  Builder.li b tb geo.mq_meta;
+  Builder.emit b (Isa.Ld32 (c, tb, 0));
+  Builder.li b ta geo.mq_capacity;
+  Builder.bgeu b c ta bad;
+  mq_append b geo ~bad ta tb p s c len slot sp;
+  Builder.jmp b respond;
+  Builder.place b dup;
+  Builder.emit b (Isa.Ld32 (c, sp, 4));
+  mq_bump b geo ta tb mq_ctr_dup;
+  Builder.jmp b respond;
+  Builder.place b stale;
+  mq_bump b geo ta tb mq_ctr_stale;
+  Builder.commit b;
+  Builder.place b respond;
+  Builder.emit b (Isa.St32 (c, Isa.reg_msg_addr, geo.mq_net_off + 16));
+  (match route with
+   | Mq_solo ->
+     Builder.li b ta mq_op_produce_ack;
+     Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 4));
+     mq_swap_back b ta tb;
+     Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+     Builder.li b Isa.reg_arg1 (geo.mq_net_off + mq_header);
+     Builder.call b Isa.K_send
+   | Mq_chain { self_ip; peer_ip; produce_port; repl_port } ->
+     Builder.li b ta mq_op_replicate;
+     Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 4));
+     Builder.li b ta self_ip;
+     Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, 12));
+     Builder.li b ta peer_ip;
+     Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, 16));
+     Builder.li b ta produce_port;
+     Builder.emit b (Isa.St16 (ta, Isa.reg_msg_addr, 20));
+     Builder.li b ta repl_port;
+     Builder.emit b (Isa.St16 (ta, Isa.reg_msg_addr, 22));
+     (* Forward the whole frame: the replica appends from the same
+        payload bytes. (Nothing in the fabric validates the stale IP
+        checksum, so the rewrite skips recomputing it.) *)
+     Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+     Builder.emit b (Isa.Mov (Isa.reg_arg1, Isa.reg_msg_len));
+     Builder.call b Isa.K_send);
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
+  Builder.assemble b
+
+(* Replicate-apply on the replica. Acceptance is purely session-based —
+   no payload comparison is needed for safety:
+   - [seq = last]: duplicate of an already-applied message (retry after
+     a lost ack, or a solo append the primary is now re-chaining).
+     Re-ack with the stored offset; never append.
+   - [seq < last]: below the dedup window; count and drop.
+   - [seq > last+1]: the gapless prefix would get a hole (a lost
+     replicate, or a primary running ahead); count and drop — the
+     producer's retries replay the missing messages in order.
+   - [seq = last+1] but [offset <> count]: primary/replica divergence
+     (a partition split the chain); count and drop rather than append
+     at the wrong offset. The client's retry re-heals via the solo
+     path after it redirects.
+   Only [seq = last+1 && offset = count] appends, and the appended
+   offset equals the chained offset, so an acked (producer, seq) names
+   the same slot on both logs. *)
+let mq_replicate geo ~self_ip ~produce_port =
+  let b = Builder.create ~name:"mq-replicate" () in
+  let bad = Builder.fresh_label b in
+  let dup = Builder.fresh_label b in
+  let stale = Builder.fresh_label b in
+  let gap = Builder.fresh_label b in
+  let ack = Builder.fresh_label b in
+  let ta = Builder.temp b and tb = Builder.temp b in
+  let p = Builder.temp b and sp = Builder.temp b in
+  let s = Builder.temp b and l = Builder.temp b in
+  let c = Builder.temp b and len = Builder.temp b in
+  let slot = Builder.temp b and o = Builder.temp b in
+  mq_preamble b geo ~op:mq_op_replicate ~bad ta p sp;
+  Builder.emit b (Isa.Ld32 (l, sp, 0));
+  Builder.emit b (Isa.Ld32 (s, Isa.reg_msg_addr, geo.mq_net_off + 12));
+  Builder.emit b (Isa.Ld32 (o, Isa.reg_msg_addr, geo.mq_net_off + 16));
+  Builder.beq b s l dup;
+  Builder.bltu b s l stale;
+  Builder.emit b (Isa.Addi (ta, l, 1));
+  Builder.bne b s ta gap;
+  Builder.li b tb geo.mq_meta;
+  Builder.emit b (Isa.Ld32 (c, tb, 0));
+  Builder.bne b o c gap;
+  Builder.li b ta geo.mq_capacity;
+  Builder.bgeu b c ta bad;
+  mq_append b geo ~bad ta tb p s c len slot sp;
+  Builder.jmp b ack;
+  Builder.place b dup;
+  Builder.emit b (Isa.Ld32 (c, sp, 4));
+  Builder.emit b (Isa.St32 (c, Isa.reg_msg_addr, geo.mq_net_off + 16));
+  mq_bump b geo ta tb mq_ctr_dup;
+  Builder.jmp b ack;
+  Builder.place b stale;
+  mq_bump b geo ta tb mq_ctr_stale;
+  Builder.commit b;
+  Builder.place b gap;
+  mq_bump b geo ta tb mq_ctr_gap;
+  Builder.commit b;
+  Builder.place b ack;
+  (* Ack straight to the client named in the frame (the chain's sender
+     was the primary, so a plain swap would answer the wrong host). *)
+  Builder.li b ta mq_op_produce_ack;
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 4));
+  Builder.li b ta self_ip;
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, 12));
+  Builder.emit b (Isa.Ld32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 20));
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, 16));
+  Builder.li b ta produce_port;
+  Builder.emit b (Isa.St16 (ta, Isa.reg_msg_addr, 20));
+  Builder.emit b (Isa.Ld32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 24));
+  Builder.emit b (Isa.St16 (ta, Isa.reg_msg_addr, 22));
+  Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+  Builder.li b Isa.reg_arg1 (geo.mq_net_off + mq_header);
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
+  Builder.assemble b
+
+(* Fetch-by-offset and poll, served straight from the log segment. A
+   fetch at or past the head degrades into a poll response carrying the
+   head offset, so consumers learn how far behind they are from the
+   same reply. Responses reuse the request frame in place — consumers
+   send fetch requests padded to a full slot so the payload copy stays
+   inside the message bounds. *)
+let mq_fetch geo =
+  let b = Builder.create ~name:"mq-fetch" () in
+  let bad = Builder.fresh_label b in
+  let poll = Builder.fresh_label b in
+  let head = Builder.fresh_label b in
+  let send = Builder.fresh_label b in
+  let copy = Builder.fresh_label b in
+  let ta = Builder.temp b and tb = Builder.temp b in
+  let f = Builder.temp b and o = Builder.temp b in
+  let c = Builder.temp b and slot = Builder.temp b in
+  let len = Builder.temp b and cnt = Builder.temp b in
+  let ptr = Builder.temp b and mp = Builder.temp b in
+  Builder.li b ta (geo.mq_net_off + mq_header + mq_payload_max geo);
+  Builder.bltu b Isa.reg_msg_len ta bad;
+  Builder.emit b (Isa.Ld32 (ta, Isa.reg_msg_addr, geo.mq_net_off));
+  Builder.li b f mq_magic;
+  Builder.bne b ta f bad;
+  Builder.emit b (Isa.Ld32 (f, Isa.reg_msg_addr, geo.mq_net_off + 4));
+  Builder.li b ta mq_op_poll;
+  Builder.beq b f ta poll;
+  Builder.li b ta mq_op_fetch;
+  Builder.bne b f ta bad;
+  Builder.emit b (Isa.Ld32 (o, Isa.reg_msg_addr, geo.mq_net_off + 16));
+  Builder.li b tb geo.mq_meta;
+  Builder.emit b (Isa.Ld32 (c, tb, 0));
+  Builder.bgeu b o c head;
+  Builder.emit b (Isa.Sll (slot, o, geo.mq_slot_shift));
+  Builder.emit b (Isa.Addi (slot, slot, geo.mq_log));
+  Builder.emit b (Isa.Ld32 (ta, slot, 0));
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 8));
+  Builder.emit b (Isa.Ld32 (ta, slot, 4));
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 12));
+  Builder.emit b (Isa.Ld32 (len, slot, 8));
+  Builder.emit b (Isa.St32 (len, Isa.reg_msg_addr, geo.mq_net_off + 28));
+  Builder.emit b (Isa.Srl (cnt, len, 2));
+  Builder.emit b (Isa.Addi (ptr, slot, 16));
+  Builder.emit b
+    (Isa.Addi (mp, Isa.reg_msg_addr, geo.mq_net_off + mq_header));
+  Builder.place b copy;
+  Builder.emit b (Isa.Ld32 (ta, ptr, 0));
+  Builder.emit b (Isa.St32 (ta, mp, 0));
+  Builder.emit b (Isa.Addi (ptr, ptr, 4));
+  Builder.emit b (Isa.Addi (mp, mp, 4));
+  Builder.emit b (Isa.Addi (cnt, cnt, -1));
+  Builder.bne b cnt Isa.reg_zero copy;
+  Builder.li b ta mq_op_fetch_resp;
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 4));
+  Builder.jmp b send;
+  Builder.place b poll;
+  Builder.li b tb geo.mq_meta;
+  Builder.emit b (Isa.Ld32 (c, tb, 0));
+  Builder.place b head;
+  Builder.emit b (Isa.St32 (c, Isa.reg_msg_addr, geo.mq_net_off + 16));
+  Builder.li b ta mq_op_poll_resp;
+  Builder.emit b (Isa.St32 (ta, Isa.reg_msg_addr, geo.mq_net_off + 4));
+  Builder.place b send;
+  mq_swap_back b ta tb;
+  Builder.emit b (Isa.Mov (Isa.reg_arg0, Isa.reg_msg_addr));
+  Builder.emit b (Isa.Mov (Isa.reg_arg1, Isa.reg_msg_len));
+  Builder.call b Isa.K_send;
+  Builder.commit b;
+  Builder.place b bad;
+  Builder.abort b;
+  Builder.assemble b
+
 let dilp_deposit ~dilp_id ~dst_addr =
   let b = Builder.create ~name:"dilp-deposit" () in
   let bad = Builder.fresh_label b in

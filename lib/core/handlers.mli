@@ -54,3 +54,91 @@ val dilp_deposit : dilp_id:int -> dst_addr:int -> Ash_vm.Program.t
     DILP transfer [dilp_id] over the whole message, depositing it at
     [dst_addr]; abort (fall back to the library) if the transfer engine
     rejects. Exercises the [K_dilp] kernel call from handler code. *)
+
+(** {1 Replicated message-queue handlers}
+
+    The in-kernel data plane of {!Mq}: produce (offset assignment +
+    append), replicate-apply, and fetch/poll over three memory
+    segments — a log ring of [1 lsl mq_slot_shift]-byte slots, a
+    one-word offset counter, and a per-producer session table of
+    [(last_seq, last_offset)] pairs that doubles as the dedup window.
+
+    Wire format after [mq_net_off] transport bytes:
+    [magic | op | producer | seq | offset | client_ip | client_port |
+    payload_len | payload...] — all 32-bit big-endian words
+    ({!mq_header} bytes before the payload). Log slots hold
+    [producer | seq | len | reserved | payload]. *)
+
+val mq_magic : int
+
+val mq_header : int
+(** Bytes of MQ header between the transport header and the payload. *)
+
+val mq_op_produce : int
+val mq_op_produce_ack : int
+val mq_op_fetch : int
+val mq_op_fetch_resp : int
+val mq_op_poll : int
+val mq_op_poll_resp : int
+val mq_op_replicate : int
+
+val mq_ctr_appends : int
+(** Counter-segment offsets bumped by the handlers: appends, dedup
+    hits, below-window drops, replication-gap drops; {!mq_ctr_len}
+    bytes total. *)
+
+val mq_ctr_dup : int
+val mq_ctr_stale : int
+val mq_ctr_gap : int
+val mq_ctr_len : int
+
+type mq_geometry = {
+  mq_net_off : int;  (** transport header bytes before the MQ header *)
+  mq_capacity : int;  (** log slots *)
+  mq_producers : int;  (** session-table entries *)
+  mq_slot_shift : int;  (** log2 of the log-slot stride *)
+  mq_meta : int;  (** address of the offset counter (one word) *)
+  mq_log : int;  (** address of the log ring *)
+  mq_sess : int;  (** address of the session table (8 B per producer) *)
+  mq_ctr : int;  (** address of the counter segment *)
+}
+
+val mq_payload_max : mq_geometry -> int
+(** Largest payload a slot can hold: the stride minus the 16-byte slot
+    header. *)
+
+(** How a produce handler answers: [Mq_chain] rewrites the validated
+    frame into a replicate and sends it to the peer broker — the ack
+    then originates from the replica, so an acked message is durable on
+    both logs. [Mq_solo] acks the client directly (the failover
+    configuration). *)
+type mq_route =
+  | Mq_chain of {
+      self_ip : int;
+      peer_ip : int;
+      produce_port : int;
+      repl_port : int;
+    }
+  | Mq_solo
+
+val mq_produce : mq_geometry -> mq_route -> Ash_vm.Program.t
+(** Per-producer dedup against the session table ([seq = last] re-acks
+    the stored offset without appending; out-of-window seqs are counted
+    and dropped without a reply), in-sequence append at the head
+    offset, then answer per {!mq_route}. Aborts on malformed frames and
+    on a full log. *)
+
+val mq_replicate :
+  mq_geometry -> self_ip:int -> produce_port:int -> Ash_vm.Program.t
+(** Replica-side apply: session-based acceptance ([seq = last+1] and
+    [offset = count] appends and acks the client named in the frame;
+    [seq = last] re-acks the stored offset; anything else is counted —
+    stale or replication-gap — and dropped so the replica's log stays a
+    gapless dedup-protected prefix). *)
+
+val mq_fetch : mq_geometry -> Ash_vm.Program.t
+(** Fetch-by-offset and poll. A fetch below the head copies the slot
+    into the request frame and returns [mq_op_fetch_resp]; a fetch at
+    or past the head, and every poll, returns [mq_op_poll_resp]
+    carrying the head offset. Requests must be padded to a full slot so
+    the in-place payload copy stays inside the frame. *)

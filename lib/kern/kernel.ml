@@ -549,6 +549,28 @@ let unbind_vc t ~vc =
      | Some nic -> An2.unbind_vc nic ~vc
      | None -> ())
 
+(* A simulated kernel crash: beyond [teardown]'s artifact wipe, every
+   demux binding disappears and queued transmissions die with the
+   machine, so frames arriving while the node is down (or before a
+   restarted service re-installs itself) drop gracefully at the demux
+   boundary — unbound / DPF-miss counters — instead of faulting on a
+   dangling ash id. The machine's memory is NOT cleared here: segment
+   contents are the service's to wipe, and some crash models (battery-
+   backed RAM) deliberately keep them. *)
+let reboot t =
+  teardown t;
+  Queue.clear t.pending_tx;
+  let vcs =
+    Hashtbl.fold
+      (fun vc b acc -> (vc, b.filter <> None) :: acc)
+      t.bindings []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (vc, is_eth) ->
+       if is_eth then unbind_eth_filter t ~vc else unbind_vc t ~vc)
+    vcs
+
 let binding_count t = Hashtbl.length t.bindings
 let eth_filter_count t = Dpf_trie.size t.eth_trie
 let demux_maintenance_units t = t.s_demux_maint

@@ -115,6 +115,15 @@ val teardown : t -> unit
 (** Drop every downloaded artifact: handler cache, ASH registry and
     DILP registry. The kernel must not deliver messages afterwards. *)
 
+val reboot : t -> unit
+(** Simulate a kernel crash/reboot: {!teardown} plus removal of every
+    demux binding (Ethernet filters and AN2 VCs) and of any queued
+    transmissions. Unlike after a bare [teardown], the kernel stays
+    safe to receive on: arrivals drop at the demux boundary with the
+    unbound counters until a service re-downloads and re-binds.
+    Machine memory is not cleared — wiping segments is the service's
+    part of the crash model. *)
+
 (* -- Devices ----------------------------------------------------------- *)
 
 val attach_an2 : t -> Ash_nic.An2.t -> unit

@@ -2,6 +2,7 @@ type trigger =
   | Quarantine
   | Queue_full_burst
   | Retransmit_storm
+  | Redelivery_storm
   | Switch_drop_spike
   | Stalled_epoch
 
@@ -9,6 +10,7 @@ let trigger_label = function
   | Quarantine -> "quarantine"
   | Queue_full_burst -> "queue-full-burst"
   | Retransmit_storm -> "retransmit-storm"
+  | Redelivery_storm -> "redelivery-storm"
   | Switch_drop_spike -> "switch-drop-spike"
   | Stalled_epoch -> "stalled-epoch"
 
@@ -17,6 +19,7 @@ type config = {
   metric_window : int;
   queue_full_burst : int;
   retransmit_storm : int;
+  redelivery_storm : int;
   switch_drop_spike : int;
   burst_window_ns : int;
   stall_ns : int;
@@ -31,6 +34,7 @@ let default_config =
     metric_window = 32;
     queue_full_burst = 8;
     retransmit_storm = 12;
+    redelivery_storm = 12;
     switch_drop_spike = 8;
     burst_window_ns = 1_000_000;
     stall_ns = 50_000_000;
@@ -61,6 +65,7 @@ type t = {
   mutable total : int;  (* events ever pushed into the ring *)
   qf : burst;
   rexmit : burst;
+  redeliv : burst;
   swdrop : burst;
   mutable last_ts : int;  (* clock-reset detection *)
   mutable last_progress : int;  (* -1 until the first progress event *)
@@ -87,6 +92,8 @@ let reset_windows t ~ts =
   t.qf.b_count <- 0;
   t.rexmit.b_start <- ts;
   t.rexmit.b_count <- 0;
+  t.redeliv.b_start <- ts;
+  t.redeliv.b_count <- 0;
   t.swdrop.b_start <- ts;
   t.swdrop.b_count <- 0;
   t.last_progress <- -1;
@@ -200,6 +207,9 @@ let on_event t ~ts ~corr (k : Trace.kind) =
   | Trace.Tcp_retransmit _ ->
     if bump t t.rexmit ~ts ~threshold:t.cfg.retransmit_storm then
       fire t Retransmit_storm ~ts ~event:(Some e)
+  | Trace.Mq_redelivery _ ->
+    if bump t t.redeliv ~ts ~threshold:t.cfg.redelivery_storm then
+      fire t Redelivery_storm ~ts ~event:(Some e)
   | _ -> ()
 
 (* Armed recorders, main domain only: the cluster's epoch barrier
@@ -217,6 +227,7 @@ let arm ?(config = default_config) ?timeseries () =
       total = 0;
       qf = { b_start = 0; b_count = 0 };
       rexmit = { b_start = 0; b_count = 0 };
+      redeliv = { b_start = 0; b_count = 0 };
       swdrop = { b_start = 0; b_count = 0 };
       last_ts = min_int;
       last_progress = -1;

@@ -15,6 +15,10 @@
       drops within [burst_window_ns];
     - {e retransmit storm}: ≥ [retransmit_storm]
       {!Trace.kind.Tcp_retransmit} events within [burst_window_ns];
+    - {e redelivery storm}: ≥ [redelivery_storm]
+      {!Trace.kind.Mq_redelivery} events within [burst_window_ns] —
+      the message-queue clients are resending faster than the brokers
+      acknowledge;
     - {e switch-drop spike}: ≥ [switch_drop_spike] switch tail drops
       within [burst_window_ns];
     - {e stalled epoch}: events keep flowing (or {!heartbeat} keeps
@@ -35,6 +39,7 @@ type trigger =
   | Quarantine
   | Queue_full_burst
   | Retransmit_storm
+  | Redelivery_storm
   | Switch_drop_spike
   | Stalled_epoch
 
@@ -46,6 +51,7 @@ type config = {
   metric_window : int;  (** trailing samples per series (default 32) *)
   queue_full_burst : int;  (** threshold; [<= 0] disables (default 8) *)
   retransmit_storm : int;  (** threshold; [<= 0] disables (default 12) *)
+  redelivery_storm : int;  (** threshold; [<= 0] disables (default 12) *)
   switch_drop_spike : int;  (** threshold; [<= 0] disables (default 8) *)
   burst_window_ns : int;  (** burst-counting window (default 1 ms) *)
   stall_ns : int;  (** progress-starvation bound; [<= 0] disables

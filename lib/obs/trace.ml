@@ -10,6 +10,9 @@ type drop_reason =
   | Dpf_miss
   | Too_big
   | Queue_full
+  | Dup_seq
+  | Stale_seq
+  | Repl_gap
 
 let drop_reason_label = function
   | Crc -> "crc"
@@ -20,6 +23,9 @@ let drop_reason_label = function
   | Dpf_miss -> "dpf-miss"
   | Too_big -> "too-big"
   | Queue_full -> "queue-full"
+  | Dup_seq -> "dup-seq"
+  | Stale_seq -> "stale-seq"
+  | Repl_gap -> "repl-gap"
 
 (* Closed fault vocabulary for the deterministic injection layer
    (Ash_sim.Fault): same rationale as [drop_reason]. *)
@@ -96,6 +102,7 @@ type kind =
   | Tcp_fast_hit
   | Tcp_fast_miss
   | Tcp_retransmit of { how : string; seq : int }
+  | Mq_redelivery of { producer : int; seq : int; attempt : int }
   | Ash_download of {
       id : int;
       cache_hit : bool;
@@ -364,6 +371,7 @@ let label = function
   | Tcp_fast_hit -> "tcp.fast.hit"
   | Tcp_fast_miss -> "tcp.fast.miss"
   | Tcp_retransmit _ -> "tcp.retransmit"
+  | Mq_redelivery _ -> "mq.redelivery"
   | Ash_download _ -> "ash.download"
   | Fault_injected _ -> "fault.injected"
   | Ash_quarantine _ -> "ash.quarantine"
@@ -405,6 +413,9 @@ let fields = function
   | Tcp_fast_hit | Tcp_fast_miss -> []
   | Tcp_retransmit { how; seq } ->
     [ ("how", how); ("seq", string_of_int seq) ]
+  | Mq_redelivery { producer; seq; attempt } ->
+    [ ("producer", string_of_int producer); ("seq", string_of_int seq);
+      ("attempt", string_of_int attempt) ]
   | Ash_download { id; cache_hit; checks_elided; static_bound } ->
     [ ("id", string_of_int id); ("cache_hit", string_of_bool cache_hit);
       ("checks_elided", string_of_int checks_elided);
@@ -494,6 +505,7 @@ let account m =
   let tcp_rexmit = c "tcp.retransmit" in
   let tcp_rexmit_timeout = c "tcp.retransmit.timeout" in
   let tcp_rexmit_fast = c "tcp.retransmit.fast" in
+  let mq_redelivery = c "mq.redelivery" in
   let download = c "ash.download" in
   let cache_hit = c "ash.cache.hit" in
   let cache_miss = c "ash.cache.miss" in
@@ -596,6 +608,7 @@ let account m =
        | "timeout" -> bump tcp_rexmit_timeout
        | "fast" -> bump tcp_rexmit_fast
        | h -> Metrics.incr m ("tcp.retransmit." ^ h))
+    | Mq_redelivery _ -> bump mq_redelivery
     | Ash_download { cache_hit = hit; checks_elided; static_bound; _ } ->
       bump download;
       bump (if hit then cache_hit else cache_miss);

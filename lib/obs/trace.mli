@@ -24,6 +24,9 @@ type drop_reason =
   | Dpf_miss  (** demux matched no filter *)
   | Too_big  (** frame exceeds the link MTU *)
   | Queue_full  (** bounded kernel notification queue overflowed *)
+  | Dup_seq  (** MQ produce already appended (dedup window hit) *)
+  | Stale_seq  (** MQ produce below the dedup window — ignored *)
+  | Repl_gap  (** MQ replicate above the replica's gapless prefix *)
 
 val drop_reason_label : drop_reason -> string
 (** Stable dashed label, e.g. ["no-pktbuf"]. *)
@@ -99,6 +102,9 @@ type kind =
       (** one segment resent: [how] is ["timeout"] (RTO expiry, also
           go-back-N resends it triggers) or ["fast"] (3 dup ACKs);
           [seq] is the segment's ending sequence number *)
+  | Mq_redelivery of { producer : int; seq : int; attempt : int }
+      (** a message-queue client resent an unacked produce; [attempt]
+          counts retries of this (producer, seq), starting at 1 *)
   | Ash_download of {
       id : int;
       cache_hit : bool;

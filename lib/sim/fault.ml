@@ -40,6 +40,21 @@ let storm ?(seed = 1) rate =
     jitter = rate;
   }
 
+(* A partition is total loss on the direction it is installed on. It is
+   an ordinary plan — one uniform draw per frame, always selecting Drop
+   — so swapping a partition in and out of a direction mid-run does not
+   shift the RNG stream shape of any other plan. *)
+let partition ?(seed = 1) () = { none with seed; drop = 1.0 }
+
+type outage = { down_at : int; heal_at : int }
+
+let outage ~down_at ~heal_at =
+  if down_at < 0 then invalid_arg "Fault.outage: negative down_at";
+  if heal_at <= down_at then invalid_arg "Fault.outage: heal_at before down_at";
+  { down_at; heal_at }
+
+let outage_active o ~now = now >= o.down_at && now < o.heal_at
+
 let check cfg =
   let rates =
     [ cfg.drop; cfg.corrupt; cfg.truncate; cfg.duplicate; cfg.reorder;

@@ -39,6 +39,23 @@ val lossy : ?seed:int -> float -> config
 val storm : ?seed:int -> float -> config
 (** Every fault kind at the given (per-kind) rate. *)
 
+val partition : ?seed:int -> unit -> config
+(** A network partition on the direction the plan is installed on:
+    total loss (drop rate 1.0). Still consumes one uniform draw per
+    frame like every plan, so installing and later clearing a partition
+    does not disturb any other plan's RNG stream. *)
+
+type outage = { down_at : int; heal_at : int }
+(** A crash/restart (or partition) window on the virtual clock, in ns:
+    the component is down on [\[down_at, heal_at)]. The record is pure
+    schedule data — callers put the crash and heal actions on their own
+    engines so sharded runs stay deterministic. *)
+
+val outage : down_at:int -> heal_at:int -> outage
+(** Raises [Invalid_argument] unless [0 <= down_at < heal_at]. *)
+
+val outage_active : outage -> now:int -> bool
+
 type t
 
 val create : config -> t

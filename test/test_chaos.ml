@@ -105,6 +105,33 @@ let test_fault_rates_roughly_honored () =
     true
     (st.Fault.drops > 220 && st.Fault.drops < 380)
 
+let test_fault_partition_preset () =
+  (* A partition is an ordinary plan with drop = 1: every frame dies,
+     and the one-uniform-draw discipline is preserved (decide still
+     burns exactly one draw per frame, so swapping a partition in and
+     out never shifts another plan's RNG stream). *)
+  let t = Fault.create (Fault.partition ~seed ()) in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "always dropped" true
+      (fst (Fault.apply t ~frame:(Bytes.make 16 'x')) = [])
+  done;
+  let st = Fault.stats t in
+  Alcotest.(check int) "all offered" 100 st.Fault.frames;
+  Alcotest.(check int) "all dropped" 100 st.Fault.drops
+
+let test_fault_outage_validated () =
+  Alcotest.check_raises "negative down_at"
+    (Invalid_argument "Fault.outage: negative down_at") (fun () ->
+      ignore (Fault.outage ~down_at:(-1) ~heal_at:5));
+  Alcotest.check_raises "heal before down"
+    (Invalid_argument "Fault.outage: heal_at before down_at") (fun () ->
+      ignore (Fault.outage ~down_at:10 ~heal_at:10));
+  let o = Fault.outage ~down_at:5 ~heal_at:9 in
+  Alcotest.(check bool) "before" false (Fault.outage_active o ~now:4);
+  Alcotest.(check bool) "at down" true (Fault.outage_active o ~now:5);
+  Alcotest.(check bool) "inside" true (Fault.outage_active o ~now:8);
+  Alcotest.(check bool) "at heal" false (Fault.outage_active o ~now:9)
+
 (* ------------------------------------------------------------------ *)
 (* UDP soaks                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -621,6 +648,10 @@ let () =
           Alcotest.test_case "apply semantics" `Quick test_fault_apply_semantics;
           Alcotest.test_case "rates honored" `Quick
             test_fault_rates_roughly_honored;
+          Alcotest.test_case "partition preset" `Quick
+            test_fault_partition_preset;
+          Alcotest.test_case "outage validated" `Quick
+            test_fault_outage_validated;
         ] );
       ( "udp",
         [
